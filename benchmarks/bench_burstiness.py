@@ -1,0 +1,57 @@
+"""Loss burstiness (paper §4, "Figure not shown").
+
+Paper: the Goh-Barabási burstiness score of bottleneck drop times has a
+median of ~0.2 at EdgeScale and ~0.35 at CoreScale, corroborating the
+hypothesis that the loss-rate/halving-rate divergence comes from
+burstier drops at scale.
+"""
+
+from __future__ import annotations
+
+from common import (
+    PAPER_CORE_COUNTS,
+    PAPER_EDGE_COUNTS,
+    PROFILE,
+    fmt,
+    mathis_core_results,
+    mathis_edge_results,
+    print_table,
+)
+from repro.analysis.burstiness import windowed_burstiness
+from repro.analysis.stats import median
+
+#: Window over which per-window burstiness scores are computed before
+#: taking the median (the paper reports medians of windowed scores).
+WINDOW_S = 2.0
+
+
+def scores():
+    edge = mathis_edge_results()
+    core = mathis_core_results()
+    out = {"edge": {}, "core": {}}
+    for setting, results in (("edge", edge), ("core", core)):
+        for count, result in results.items():
+            windows = windowed_burstiness(result.drop_times, WINDOW_S)
+            out[setting][count] = median(windows) if windows else float("nan")
+    return out
+
+
+def test_burstiness_of_drops(benchmark):
+    out = benchmark.pedantic(scores, rounds=1, iterations=1)
+    rows = [
+        [f"CoreScale {c}", fmt(out["core"][c])] for c in PAPER_CORE_COUNTS
+    ] + [
+        [f"EdgeScale {c}", fmt(out["edge"][c])] for c in PAPER_EDGE_COUNTS
+    ]
+    print_table(
+        "Goh-Barabási burstiness of bottleneck drops (paper: ~0.2 edge, ~0.35 core)",
+        ["setting", "median burstiness"],
+        rows,
+    )
+    if PROFILE == "smoke":
+        return
+    for setting in ("edge", "core"):
+        for count, value in out[setting].items():
+            assert -1.0 <= value <= 1.0, f"{setting}/{count} burstiness out of range"
+    core_med = median(list(out["core"].values()))
+    assert core_med > 0.0, "drops at scale should be burstier than periodic"

@@ -1,0 +1,64 @@
+"""Extension: BBRv2 at scale (the paper's explicit future-work pointer).
+
+The paper evaluates BBRv1 and notes BBRv2 "remains a work in progress".
+This bench runs the successor through two of the paper's headline
+experiments at the CoreScale operating point:
+
+- intra-CCA fairness (the Fig 4 construction with bbr2), and
+- equal-count competition against NewReno (the Fig 8a construction).
+
+Expected shape: v2's loss responsiveness makes it both fairer to itself
+and far less brutal to loss-based flows than v1.
+"""
+
+from __future__ import annotations
+
+from common import (
+    PAPER_CORE_COUNTS,
+    PROFILE,
+    cached_run,
+    core_scenario,
+    fmt,
+    fmt_pct,
+    print_table,
+)
+
+
+def bbr2_results():
+    intra = {}
+    compete = {}
+    for count in PAPER_CORE_COUNTS:
+        sc = core_scenario(
+            [("bbr2", count, 0.020)], "fig4", f"ext-bbr2-intra-{count}", seed=71
+        )
+        intra[count] = cached_run(sc).jfi()
+        half = count // 2
+        sc = core_scenario(
+            [("bbr2", half, 0.020), ("newreno", half, 0.020)],
+            "share",
+            f"ext-bbr2-v-reno-{count}",
+            seed=71,
+        )
+        compete[count] = cached_run(sc).shares()["bbr2"]
+    return intra, compete
+
+
+def test_ext_bbr2_at_scale(benchmark):
+    intra, compete = benchmark.pedantic(bbr2_results, rounds=1, iterations=1)
+    rows = [
+        [str(c), fmt(intra[c], 3), fmt_pct(compete[c])] for c in PAPER_CORE_COUNTS
+    ]
+    print_table(
+        "Extension: BBRv2 at CoreScale (20 ms) — intra JFI and share vs "
+        "equal NewReno",
+        ["flows", "intra JFI", "share vs reno"],
+        rows,
+    )
+    if PROFILE == "smoke":
+        return
+    for c in PAPER_CORE_COUNTS:
+        assert 0.0 < intra[c] <= 1.0
+        assert 0.0 <= compete[c] <= 1.0
+    # v2 backs off on loss; it must not starve the loss-based group the
+    # way the paper shows v1 can.
+    assert max(compete.values()) < 0.95

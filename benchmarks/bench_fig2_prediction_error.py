@@ -1,0 +1,72 @@
+"""Figure 2: median Mathis prediction error, loss rate vs halving rate.
+
+Paper: at CoreScale the model predicts within <=10% (median) when p is
+the CWND halving rate, but errs 45-55% when p is the packet loss rate;
+at EdgeScale both interpretations are accurate (<10%).
+
+The bench fits C per (setting, flow count, interpretation) — the paper's
+Table-1 methodology — and reports the median per-flow relative error.
+"""
+
+from __future__ import annotations
+
+from common import (
+    PAPER_CORE_COUNTS,
+    PAPER_EDGE_COUNTS,
+    PROFILE,
+    fmt_pct,
+    mathis_core_results,
+    mathis_edge_results,
+    print_table,
+)
+from repro.analysis.mathis_fit import fit_mathis
+from repro.units import MSS
+
+
+def prediction_errors():
+    edge = mathis_edge_results()
+    core = mathis_core_results()
+    errors = {"edge": {}, "core": {}}
+    for count, result in edge.items():
+        for interp in ("loss", "halving"):
+            fit = fit_mathis(result.observations(), interp, MSS)
+            errors["edge"][(count, interp)] = fit.median_error
+    for count, result in core.items():
+        for interp in ("loss", "halving"):
+            fit = fit_mathis(result.observations(), interp, MSS)
+            errors["core"][(count, interp)] = fit.median_error
+    return errors
+
+
+def test_fig2_prediction_error(benchmark):
+    errors = benchmark.pedantic(prediction_errors, rounds=1, iterations=1)
+    rows = []
+    for count in PAPER_CORE_COUNTS:
+        rows.append(
+            [
+                f"CoreScale {count}",
+                fmt_pct(errors["core"][(count, "loss")]),
+                fmt_pct(errors["core"][(count, "halving")]),
+            ]
+        )
+    for count in PAPER_EDGE_COUNTS:
+        rows.append(
+            [
+                f"EdgeScale {count}",
+                fmt_pct(errors["edge"][(count, "loss")]),
+                fmt_pct(errors["edge"][(count, "halving")]),
+            ]
+        )
+    print_table(
+        "Fig 2: median Mathis prediction error",
+        ["setting", "p = packet loss rate", "p = CWND halving rate"],
+        rows,
+    )
+    if PROFILE == "smoke":
+        return
+    # Shape (Finding 2): at CoreScale the halving-rate error is smaller
+    # than the loss-rate error at every flow count.
+    for count in PAPER_CORE_COUNTS:
+        assert (
+            errors["core"][(count, "halving")] < errors["core"][(count, "loss")]
+        ), f"halving-rate should predict better at core count={count}"

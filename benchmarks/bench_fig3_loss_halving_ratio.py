@@ -1,0 +1,60 @@
+"""Figure 3: packet-loss-to-CWND-halving ratio, Edge vs Core.
+
+Paper: ~1.7 at EdgeScale regardless of flow count; 6-9 at CoreScale and
+flow-count dependent — burst drops at scale cost several packets per
+single congestion response, which is why the loss rate stops being a
+valid Mathis ``p`` at scale (Finding 3).
+"""
+
+from __future__ import annotations
+
+from common import (
+    PAPER_CORE_COUNTS,
+    PAPER_EDGE_COUNTS,
+    PROFILE,
+    fmt,
+    mathis_core_results,
+    mathis_edge_results,
+    print_table,
+)
+from repro.analysis.throughput import loss_to_halving_ratio
+
+
+def ratios():
+    edge = mathis_edge_results()
+    core = mathis_core_results()
+    out = {"edge": {}, "core": {}}
+    for count, result in edge.items():
+        out["edge"][count] = loss_to_halving_ratio(
+            result.queue_drops, result.total_congestion_events
+        )
+    for count, result in core.items():
+        out["core"][count] = loss_to_halving_ratio(
+            result.queue_drops, result.total_congestion_events
+        )
+    return out
+
+
+def test_fig3_loss_to_halving_ratio(benchmark):
+    out = benchmark.pedantic(ratios, rounds=1, iterations=1)
+    rows = [
+        [f"CoreScale {c}", fmt(out["core"][c])] for c in PAPER_CORE_COUNTS
+    ] + [
+        [f"EdgeScale {c}", fmt(out["edge"][c])] for c in PAPER_EDGE_COUNTS
+    ]
+    print_table(
+        "Fig 3: packet losses per CWND halving event",
+        ["setting", "loss/halving ratio"],
+        rows,
+    )
+    if PROFILE == "smoke":
+        return
+    # Shape: the ratio at CoreScale exceeds the EdgeScale ratio (losses
+    # are burstier at scale).
+    edge_mean = sum(out["edge"].values()) / len(out["edge"])
+    core_mean = sum(out["core"].values()) / len(out["core"])
+    assert core_mean > edge_mean, (
+        f"core ratio ({core_mean:.2f}) should exceed edge ratio ({edge_mean:.2f})"
+    )
+    assert all(r >= 1.0 for r in out["edge"].values())
+    assert all(r >= 1.0 for r in out["core"].values())

@@ -1,0 +1,68 @@
+"""Figure 4: BBR intra-CCA fairness (JFI), Edge and Core sweeps.
+
+Paper's Finding 5 — the surprise result: BBR competing only with other
+BBR flows at the same RTT is fair at low flow counts (JFI ~0.99 per past
+work) but becomes unfair at scale (JFI as low as 0.4), with milder
+unfairness already visible beyond 10 flows at EdgeScale (JFI ~0.7).
+"""
+
+from __future__ import annotations
+
+from common import (
+    FIG4_RTTS,
+    PAPER_CORE_COUNTS,
+    PAPER_EDGE_COUNTS,
+    PROFILE,
+    cached_run,
+    core_scenario,
+    edge_scenario,
+    fmt,
+    print_table,
+)
+
+PAST_WORK_JFI = 0.99
+
+
+def jfi_sweeps():
+    core = {}
+    edge = {}
+    for rtt in FIG4_RTTS:
+        for count in PAPER_CORE_COUNTS:
+            sc = core_scenario(
+                [("bbr", count, rtt)], "fig4",
+                f"fig4-core-{count}-{int(rtt * 1000)}ms", seed=31,
+            )
+            core[(count, rtt)] = cached_run(sc).jfi()
+        for count in PAPER_EDGE_COUNTS:
+            sc = edge_scenario(
+                [("bbr", count, rtt)], "fig4",
+                f"fig4-edge-{count}-{int(rtt * 1000)}ms", seed=31,
+            )
+            edge[(count, rtt)] = cached_run(sc).jfi()
+    return core, edge
+
+
+def test_fig4_bbr_intra_fairness(benchmark):
+    core, edge = benchmark.pedantic(jfi_sweeps, rounds=1, iterations=1)
+    for setting, counts, data in (
+        ("CoreScale", PAPER_CORE_COUNTS, core),
+        ("EdgeScale", PAPER_EDGE_COUNTS, edge),
+    ):
+        rows = [
+            [str(count)] + [fmt(data[(count, rtt)], 3) for rtt in FIG4_RTTS]
+            + [fmt(PAST_WORK_JFI, 2)]
+            for count in counts
+        ]
+        print_table(
+            f"Fig 4 ({setting}): BBR intra-CCA JFI",
+            ["flows"] + [f"{int(r * 1000)}ms" for r in FIG4_RTTS] + ["past work"],
+            rows,
+        )
+    if PROFILE == "smoke":
+        return
+    # Shape (Finding 5): somewhere in the sweeps BBR falls well below the
+    # JFI ~0.99 past work reports at low flow counts.
+    worst = min(min(core.values()), min(edge.values()))
+    assert worst < 0.9, f"expected BBR intra-CCA unfairness, worst JFI {worst:.3f}"
+    for value in list(core.values()) + list(edge.values()):
+        assert 0.0 < value <= 1.0

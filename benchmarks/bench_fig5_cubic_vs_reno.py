@@ -1,0 +1,55 @@
+"""Figure 5: Cubic vs NewReno, equal flow counts, CoreScale sweep.
+
+Paper's Finding 8: Cubic takes 70-80% of total throughput when competing
+with an equal number of NewReno flows at CoreScale, confirming the
+edge-setting result of Ha et al.
+"""
+
+from __future__ import annotations
+
+from common import (
+    FIG_RTTS,
+    PAPER_CORE_COUNTS,
+    PROFILE,
+    cached_run,
+    core_scenario,
+    fmt_pct,
+    print_table,
+)
+
+HOME_LINK_SHARE = 0.80  # the paper's "Home Link" reference line
+
+
+def cubic_shares():
+    out = {}
+    for rtt in FIG_RTTS:
+        for count in PAPER_CORE_COUNTS:
+            half = count // 2
+            sc = core_scenario(
+                [("cubic", half, rtt), ("newreno", half, rtt)],
+                "share",
+                f"fig5-{count}-{int(rtt * 1000)}ms",
+                seed=51,
+            )
+            out[(count, rtt)] = cached_run(sc).shares()["cubic"]
+    return out
+
+
+def test_fig5_cubic_vs_reno(benchmark):
+    out = benchmark.pedantic(cubic_shares, rounds=1, iterations=1)
+    rows = [
+        [str(count)]
+        + [fmt_pct(out[(count, rtt)]) for rtt in FIG_RTTS]
+        + [fmt_pct(HOME_LINK_SHARE)]
+        for count in PAPER_CORE_COUNTS
+    ]
+    print_table(
+        "Fig 5: Cubic share of throughput vs equal NewReno (paper: 70-80%)",
+        ["flows"] + [f"{int(r * 1000)}ms" for r in FIG_RTTS] + ["home link"],
+        rows,
+    )
+    if PROFILE == "smoke":
+        return
+    # Shape: Cubic wins the majority of bandwidth at every sweep point.
+    for key, share in out.items():
+        assert share > 0.5, f"Cubic should out-compete NewReno at {key}: {share:.2%}"

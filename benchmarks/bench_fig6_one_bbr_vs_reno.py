@@ -1,0 +1,68 @@
+"""Figure 6: one BBR flow vs thousands of NewReno flows, CoreScale.
+
+Paper's Finding 6: a single BBR flow takes ~40% of total throughput
+irrespective of the number of competing NewReno flows — the at-scale
+confirmation of the Ware et al. model (a single flow at 5000 competitors
+obtains ~2000x its fair share).
+"""
+
+from __future__ import annotations
+
+from common import (
+    FIG_RTTS,
+    PAPER_CORE_COUNTS,
+    PROFILE,
+    SCALE,
+    cached_run,
+    core_scenario,
+    fmt_pct,
+    print_table,
+)
+from repro.models.ware_bbr import predict_bbr_share
+
+HOME_LINK_SHARE = 0.40
+
+
+def bbr_shares(competitor: str = "newreno", tag: str = "fig6"):
+    out = {}
+    for rtt in FIG_RTTS:
+        for count in PAPER_CORE_COUNTS:
+            # One *actual* BBR flow against the scaled competitor count,
+            # matching the paper's single-flow construction.
+            groups = [("bbr", SCALE, rtt), (competitor, count - SCALE, rtt)]
+            sc = core_scenario(
+                groups, "bbr_single", f"{tag}-{count}-{int(rtt * 1000)}ms", seed=61
+            )
+            out[(count, rtt)] = cached_run(sc).shares()["bbr"]
+    return out
+
+
+def check_and_print(out, competitor: str, figure: str) -> None:
+    rows = [
+        [str(count)]
+        + [fmt_pct(out[(count, rtt)]) for rtt in FIG_RTTS]
+        + [fmt_pct(HOME_LINK_SHARE), fmt_pct(predict_bbr_share(1.0))]
+        for count in PAPER_CORE_COUNTS
+    ]
+    print_table(
+        f"{figure}: 1 BBR flow's share vs {competitor} (paper: ~40%, flat in count)",
+        ["flows"]
+        + [f"{int(r * 1000)}ms" for r in FIG_RTTS]
+        + ["home link", "Ware model"],
+        rows,
+    )
+    if PROFILE == "smoke":
+        return
+    # Shape: the single BBR flow vastly exceeds its fair share (1/flows)
+    # at every sweep point, and its share does not collapse with count.
+    for (count, rtt), share in out.items():
+        fair_share = SCALE / count  # one scaled flow among count/SCALE flows
+        assert share > 4 * fair_share, (
+            f"BBR at {count} flows/{rtt * 1000:.0f}ms took {share:.2%}, "
+            f"expected well above fair share {fair_share:.2%}"
+        )
+
+
+def test_fig6_one_bbr_vs_reno(benchmark):
+    out = benchmark.pedantic(bbr_shares, rounds=1, iterations=1)
+    check_and_print(out, "NewReno", "Fig 6")

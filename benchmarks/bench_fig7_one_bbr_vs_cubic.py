@@ -1,0 +1,17 @@
+"""Figure 7: one BBR flow vs thousands of Cubic flows, CoreScale.
+
+Same construction as Figure 6 with Cubic competitors: the paper finds
+the single BBR flow again takes ~40% of throughput, independent of the
+competitor count (Finding 6 / the Ware et al. model).
+"""
+
+from __future__ import annotations
+
+from bench_fig6_one_bbr_vs_reno import bbr_shares, check_and_print
+
+
+def test_fig7_one_bbr_vs_cubic(benchmark):
+    out = benchmark.pedantic(
+        bbr_shares, args=("cubic", "fig7"), rounds=1, iterations=1
+    )
+    check_and_print(out, "Cubic", "Fig 7")

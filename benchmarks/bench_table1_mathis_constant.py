@@ -1,0 +1,72 @@
+"""Table 1: the empirically derived Mathis constant C.
+
+Paper: deriving C from the *packet loss rate* gives flow-count- and
+setting-dependent values (Edge 1.78 vs Core 3.95/3.64/3.24), while the
+*CWND halving rate* gives consistent values (Edge 1.47 vs Core
+1.36/1.36/1.34).
+
+This bench fits C per setting and flow count from our measured flows and
+prints the same four rows.
+"""
+
+from __future__ import annotations
+
+from common import (
+    PAPER_CORE_COUNTS,
+    fmt,
+    mathis_core_results,
+    mathis_edge_results,
+    print_table,
+)
+from repro.analysis.mathis_fit import fit_mathis
+from repro.units import MSS
+
+
+def derive_constants():
+    edge = mathis_edge_results()
+    core = mathis_core_results()
+    # Paper's Table 1 pools EdgeScale into a single column.
+    edge_obs = [o for r in edge.values() for o in r.observations()]
+    rows = {}
+    for interp in ("loss", "halving"):
+        edge_c = fit_mathis(edge_obs, interp, MSS).constant
+        core_cs = {
+            count: fit_mathis(core[count].observations(), interp, MSS).constant
+            for count in PAPER_CORE_COUNTS
+        }
+        rows[interp] = (edge_c, core_cs)
+    return rows
+
+
+def test_table1_mathis_constant(benchmark):
+    rows = benchmark.pedantic(derive_constants, rounds=1, iterations=1)
+    table = []
+    for interp, label in (("loss", "Packet Loss"), ("halving", "CWND Halving")):
+        edge_c, core_cs = rows[interp]
+        table.append(
+            [label, fmt(edge_c)] + [fmt(core_cs[c]) for c in PAPER_CORE_COUNTS]
+        )
+    print_table(
+        "Table 1: Mathis constant C (EdgeScale vs CoreScale flow counts)",
+        ["p interpretation", "EdgeScale"] + [f"Core {c}" for c in PAPER_CORE_COUNTS],
+        table,
+    )
+    loss_edge, loss_core = rows["loss"]
+    halv_edge, halv_core = rows["halving"]
+    # Shape assertions (paper's Finding 1): the halving-rate constant is
+    # closer to its edge value than the loss-rate constant is to its own,
+    # i.e. halving-rate C transfers across settings better.
+    loss_spread = max(
+        abs(c - loss_edge) / loss_edge for c in loss_core.values()
+    )
+    halv_spread = max(
+        abs(c - halv_edge) / halv_edge for c in halv_core.values()
+    )
+    assert halv_spread < loss_spread, (
+        f"halving-rate C should be more stable across settings "
+        f"(halving spread {halv_spread:.2f}, loss spread {loss_spread:.2f})"
+    )
+    # All constants positive and of plausible magnitude.
+    for _, (edge_c, core_cs) in rows.items():
+        assert 0.1 < edge_c < 20
+        assert all(0.1 < c < 20 for c in core_cs.values())

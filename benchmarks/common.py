@@ -1,0 +1,182 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper. The
+underlying experiments are expensive (packet-level simulation), so:
+
+- results are cached on disk under ``benchmarks/_cache/`` keyed by the
+  scenario definition — re-running a bench re-prints its table from
+  cache (delete the directory or set ``REPRO_BENCH_FRESH=1`` to force
+  re-simulation);
+- ``REPRO_BENCH_PROFILE`` selects the fidelity/runtime trade-off:
+
+  * ``smoke``  — minutes-scale sanity profile (tiny flow counts, short
+    runs); shapes are noisy.
+  * ``quick``  — the default: full flow-count sweeps at scale divisor
+    50, RTT sweep on the figures where RTT is the finding (Fig 4), the
+    paper's primary 20 ms line elsewhere.
+  * ``full``   — full RTT sweeps everywhere and longer runs.
+
+The scale divisor (``REPRO_BENCH_SCALE``, default 50) divides the
+paper's 10 Gbps / 1000-5000 flows down to a tractable operating point
+with identical per-flow share and buffer-per-BDP (see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from typing import Dict, Sequence, Tuple
+
+from repro.core.experiment import run_experiment
+from repro.core.results import ExperimentResult
+from repro.core.scenarios import FlowGroup, Scenario
+from repro.units import bdp_bytes, gbps, mbps, megabytes
+
+#: Bump when simulator physics change to invalidate cached results.
+CACHE_VERSION = 7
+
+CACHE_DIR = os.path.join(os.path.dirname(__file__), "_cache")
+
+PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "quick")
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "200" if PROFILE == "smoke" else "50"))
+
+#: Paper sweep points.
+PAPER_CORE_COUNTS = (1000, 3000, 5000)
+PAPER_EDGE_COUNTS = (10, 30, 50)
+RTTS_ALL = (0.020, 0.100, 0.200)
+
+if PROFILE == "smoke":
+    DUR = {"mathis": (20.0, 6.0), "fig4": (20.0, 6.0), "share": (20.0, 6.0),
+           "bbr_single": (30.0, 8.0), "intra": (20.0, 6.0), "ablation": (20.0, 6.0)}
+    FIG_RTTS = (0.020,)
+    FIG4_RTTS = (0.020,)
+elif PROFILE == "full":
+    DUR = {"mathis": (90.0, 30.0), "fig4": (120.0, 40.0), "share": (150.0, 50.0),
+           "bbr_single": (180.0, 60.0), "intra": (150.0, 40.0), "ablation": (120.0, 40.0)}
+    FIG_RTTS = RTTS_ALL
+    FIG4_RTTS = RTTS_ALL
+else:  # quick
+    DUR = {"mathis": (60.0, 20.0), "fig4": (80.0, 30.0), "share": (100.0, 35.0),
+           "bbr_single": (150.0, 50.0), "intra": (110.0, 30.0), "ablation": (80.0, 30.0)}
+    FIG_RTTS = (0.020,)
+    FIG4_RTTS = RTTS_ALL
+
+
+def core_bandwidth_bps() -> float:
+    return gbps(10) / SCALE
+
+
+def scaled(count: int) -> int:
+    """Scale a paper flow count down by the configured divisor."""
+    return max(1, count // SCALE)
+
+
+def core_scenario(
+    groups: Sequence[Tuple[str, int, float]],
+    family: str,
+    name: str,
+    seed: int = 11,
+    buffer_bdp: float = 1.0,
+    use_red_queue: bool = False,
+) -> Scenario:
+    """A CoreScale scenario; group counts are *paper* counts, scaled here."""
+    duration, warmup = DUR[family]
+    bw = core_bandwidth_bps()
+    return Scenario(
+        name=name,
+        bottleneck_bw_bps=bw,
+        buffer_bytes=max(1, int(buffer_bdp * bdp_bytes(bw, 0.200))),
+        groups=tuple(FlowGroup(cca, scaled(count), rtt) for cca, count, rtt in groups),
+        duration=duration,
+        warmup=warmup,
+        stagger_max=min(5.0, warmup * 0.5),
+        seed=seed,
+        use_red_queue=use_red_queue,
+    )
+
+
+def edge_scenario(
+    groups: Sequence[Tuple[str, int, float]],
+    family: str,
+    name: str,
+    seed: int = 11,
+) -> Scenario:
+    duration, warmup = DUR[family]
+    return Scenario(
+        name=name,
+        bottleneck_bw_bps=mbps(100),
+        buffer_bytes=megabytes(3),
+        groups=tuple(FlowGroup(cca, count, rtt) for cca, count, rtt in groups),
+        duration=duration,
+        warmup=warmup,
+        stagger_max=min(5.0, warmup * 0.5),
+        seed=seed,
+    )
+
+
+def _cache_key(scenario: Scenario) -> str:
+    blob = f"v{CACHE_VERSION}|{scenario!r}"
+    return hashlib.md5(blob.encode()).hexdigest()
+
+
+def cached_run(scenario: Scenario) -> ExperimentResult:
+    """Run an experiment, reusing a cached result when available."""
+    os.makedirs(CACHE_DIR, exist_ok=True)
+    path = os.path.join(CACHE_DIR, _cache_key(scenario) + ".pkl")
+    if os.path.exists(path) and not os.environ.get("REPRO_BENCH_FRESH"):
+        with open(path, "rb") as fh:
+            return pickle.load(fh)
+    result = run_experiment(scenario)
+    with open(path, "wb") as fh:
+        pickle.dump(result, fh)
+    return result
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    """Print an aligned text table (the bench output the paper row maps to)."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-" * len(line))
+    for row in str_rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def fmt_pct(x: float) -> str:
+    return f"{100 * x:.1f}%"
+
+
+def fmt(x: float, digits: int = 2) -> str:
+    return f"{x:.{digits}f}"
+
+
+# ----------------------------------------------------------------------
+# Shared experiment families (several benches reuse the same runs).
+# ----------------------------------------------------------------------
+
+def mathis_core_results() -> Dict[int, ExperimentResult]:
+    """NewReno intra-CCA CoreScale runs at 20 ms (Table 1 / Figs 2-3)."""
+    out: Dict[int, ExperimentResult] = {}
+    for count in PAPER_CORE_COUNTS:
+        sc = core_scenario(
+            [("newreno", count, 0.020)], "mathis", f"mathis-core-{count}", seed=21
+        )
+        out[count] = cached_run(sc)
+    return out
+
+
+def mathis_edge_results() -> Dict[int, ExperimentResult]:
+    """NewReno intra-CCA EdgeScale runs at 20 ms (Table 1 / Figs 2-3)."""
+    out: Dict[int, ExperimentResult] = {}
+    for count in PAPER_EDGE_COUNTS:
+        sc = edge_scenario(
+            [("newreno", count, 0.020)], "mathis", f"mathis-edge-{count}", seed=21
+        )
+        out[count] = cached_run(sc)
+    return out

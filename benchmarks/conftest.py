@@ -1,0 +1,6 @@
+"""Make the shared bench helpers importable when pytest collects here."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

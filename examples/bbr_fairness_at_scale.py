@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Finding 5: BBR's intra-CCA fairness degrades with flow count.
+
+Sweeps BBR-only experiments from a handful of flows (where past work
+reports JFI ~0.99) to at-scale counts, printing the JFI trend — the
+paper's most surprising result (Fig 4). Also demonstrates run_sweep and
+per-flow inspection of the BBR state that drives the unfairness.
+
+Run time: a few minutes of wall clock.
+
+    python examples/bbr_fairness_at_scale.py
+"""
+
+from repro import FlowGroup, Scenario, run_sweep
+from repro.units import bdp_bytes, mbps, to_mbps
+
+BOTTLENECK = mbps(100)
+RTT = 0.100
+
+
+def scenario(flows: int, duration: float = 60.0, warmup: float = 20.0) -> Scenario:
+    return Scenario(
+        name=f"bbr-intra-{flows}",
+        bottleneck_bw_bps=BOTTLENECK,
+        buffer_bytes=bdp_bytes(BOTTLENECK, 0.200),
+        groups=(FlowGroup("bbr", flows, RTT),),
+        duration=duration,
+        warmup=warmup,
+        stagger_max=5.0,
+        seed=17,
+    )
+
+
+def main() -> None:
+    import sys
+    quick = "--quick" in sys.argv
+    sweep = [2, 5, 10] if quick else [2, 5, 10, 20, 40]
+    print(f"BBR intra-CCA fairness on a {to_mbps(BOTTLENECK):.0f} Mbps "
+          f"bottleneck at {RTT * 1000:.0f} ms RTT")
+    print(f"{'flows':>6} {'JFI':>7} {'util':>7} {'loss':>8} "
+          f"{'min flow':>9} {'max flow':>9}  (Mbps)")
+    duration, warmup = (20.0, 6.0) if quick else (60.0, 20.0)
+    results = run_sweep(
+        [scenario(n, duration, warmup) for n in sweep], parallel=1
+    )
+    for flows, result in zip(sweep, results):
+        goodputs = [f.goodput_bps for f in result.flows]
+        print(
+            f"{flows:>6} {result.jfi():>7.3f} {result.utilization:>7.2%} "
+            f"{result.aggregate_loss_rate:>8.3%} "
+            f"{to_mbps(min(goodputs)):>9.2f} {to_mbps(max(goodputs)):>9.2f}"
+        )
+    print("\nPast work reports JFI ~0.99 at low flow counts; the paper "
+          "finds it collapses toward 0.4 at scale (Fig 4). Watch the "
+          "JFI column fall as the per-flow share shrinks toward BBR's "
+          "cwnd floor.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: run one scaled CoreScale experiment and read the results.
+
+This reproduces a single point of the paper's methodology end to end:
+build the dumbbell, run 1000 (scaled) NewReno flows over a 10 Gbps
+(scaled) bottleneck with a 1-BDP drop-tail buffer, cut the warm-up, and
+report goodput, fairness and the Mathis-relevant event rates.
+
+Run time: ~15 seconds of wall clock.
+
+    python examples/quickstart.py
+"""
+
+from repro import core_scale, fit_mathis, run_experiment
+from repro.units import MSS, to_mbps
+
+
+def main() -> None:
+    # The paper's 1000-flow CoreScale point, scaled by 100 for a quick
+    # demo: a 100 Mbps bottleneck with 10 flows and the same per-flow
+    # share (10 Gbps / 1000 = 100 Mbps / 10 = 10 Mbps fair share).
+    scenario = core_scale(flows=1000, cca="newreno", scale=100,
+                          duration=30.0, warmup=10.0)
+    print(f"running {scenario.name}: {scenario.total_flows} flows at "
+          f"{to_mbps(scenario.bottleneck_bw_bps):.0f} Mbps, "
+          f"buffer {scenario.buffer_bytes // 1_000_000} MB ...")
+
+    result = run_experiment(scenario)
+
+    print(result.summary())
+    print(f"per-flow fair share : {to_mbps(scenario.bottleneck_bw_bps) / scenario.total_flows:.1f} Mbps")
+    print(f"Jain fairness index : {result.jfi():.3f}")
+    print(f"queue loss rate     : {result.aggregate_loss_rate:.3%}")
+    print(f"loss/halving ratio  : "
+          f"{result.queue_drops / max(1, result.total_congestion_events):.2f} "
+          f"(Finding 3: >1 means burst drops)")
+
+    # Fit the Mathis constant both ways, the paper's Table 1 procedure.
+    for interp in ("loss", "halving"):
+        fit = fit_mathis(result.observations(), interp, MSS)
+        print(f"Mathis C via {interp:8s}: {fit.constant:5.2f}   "
+              f"median prediction error {fit.median_error:.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Goh–Barabási burstiness score.
+
+The paper corroborates its Finding 3 hypothesis ("losses are burstier
+at scale") by scoring the bottleneck drop-time series with the
+burstiness measure of Goh & Barabási (EPL 2008):
+
+    B = (sigma - mu) / (sigma + mu)
+
+over the distribution of inter-event times, where B = -1 for a perfectly
+periodic signal, B ~ 0 for a Poisson process, and B -> 1 for highly
+bursty trains. The paper reports medians ~0.2 at EdgeScale and ~0.35 at
+CoreScale.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+
+def inter_event_times(event_times: Sequence[float]) -> List[float]:
+    """Gaps between consecutive events (input need not be sorted)."""
+    if len(event_times) < 2:
+        return []
+    ordered = sorted(event_times)
+    return [b - a for a, b in zip(ordered, ordered[1:])]
+
+
+def burstiness_score(event_times: Sequence[float]) -> float:
+    """Goh–Barabási burstiness of a point process given its event times.
+
+    Requires at least three events (two inter-event gaps). Returns a
+    value in [-1, 1].
+    """
+    gaps = inter_event_times(event_times)
+    if len(gaps) < 2:
+        raise ValueError("need at least 3 events to estimate burstiness")
+    n = len(gaps)
+    mean = sum(gaps) / n
+    variance = sum((g - mean) ** 2 for g in gaps) / n
+    sigma = math.sqrt(variance)
+    if sigma + mean == 0:
+        return 0.0
+    return (sigma - mean) / (sigma + mean)
+
+
+def windowed_burstiness(
+    event_times: Sequence[float], window: float
+) -> List[float]:
+    """Burstiness computed over consecutive time windows.
+
+    Windows with fewer than three events are skipped. Useful for the
+    median-of-windows statistic the paper reports.
+    """
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if not event_times:
+        return []
+    ordered = sorted(event_times)
+    scores: List[float] = []
+    start = ordered[0]
+    bucket: List[float] = []
+    for t in ordered:
+        if t < start + window:
+            bucket.append(t)
+            continue
+        if len(bucket) >= 3:
+            scores.append(burstiness_score(bucket))
+        while t >= start + window:
+            start += window
+        bucket = [t]
+    if len(bucket) >= 3:
+        scores.append(burstiness_score(bucket))
+    return scores

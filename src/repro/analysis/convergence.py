@@ -1,0 +1,93 @@
+"""Experiment convergence detection.
+
+The paper runs each experiment "until the metric being evaluated changes
+by less than 1% over 20 minutes" (or a 3-hour cap). This module
+implements that stop rule generically over a sampled metric time series,
+with the window expressed as a fraction of run length so scaled-down
+runs can apply it proportionally.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+
+def has_converged(
+    times: Sequence[float],
+    values: Sequence[float],
+    window: float,
+    tolerance: float = 0.01,
+) -> bool:
+    """True if the metric stayed within ``tolerance`` (relative) over the
+    trailing ``window`` seconds of the series."""
+    if len(times) != len(values):
+        raise ValueError("times/values length mismatch")
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if len(times) < 2:
+        return False
+    horizon = times[-1] - window
+    if times[0] > horizon:
+        return False  # series does not yet span a full window
+    tail = [v for t, v in zip(times, values) if t >= horizon]
+    if len(tail) < 2:
+        return False
+    lo, hi = min(tail), max(tail)
+    if hi == 0:
+        return True
+    return (hi - lo) / abs(hi) <= tolerance
+
+
+class ConvergenceTracker:
+    """Streaming version of :func:`has_converged`.
+
+    Feed it ``observe(time, value)`` samples; ``converged`` flips to True
+    once the trailing window is stable. Optionally invokes a callback
+    the first time convergence is reached (e.g. to stop a simulation).
+    """
+
+    def __init__(
+        self,
+        window: float,
+        tolerance: float = 0.01,
+        on_converged: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.window = window
+        self.tolerance = tolerance
+        self.on_converged = on_converged
+        self.converged = False
+        self.converged_at: Optional[float] = None
+        self._times: List[float] = []
+        self._values: List[float] = []
+
+    def observe(self, time: float, value: float) -> bool:
+        """Add a sample; returns the current convergence verdict."""
+        if self._times and time < self._times[-1]:
+            raise ValueError("samples must be time-ordered")
+        self._times.append(time)
+        self._values.append(value)
+        # Trim samples older than one window before the newest.
+        horizon = time - self.window
+        cut = 0
+        while cut < len(self._times) - 1 and self._times[cut + 1] <= horizon:
+            cut += 1
+        if cut:
+            del self._times[:cut]
+            del self._values[:cut]
+        if not self.converged and self._spans_window() and self._stable():
+            self.converged = True
+            self.converged_at = time
+            if self.on_converged is not None:
+                self.on_converged(time)
+        return self.converged
+
+    def _spans_window(self) -> bool:
+        return len(self._times) >= 2 and self._times[-1] - self._times[0] >= self.window
+
+    def _stable(self) -> bool:
+        lo, hi = min(self._values), max(self._values)
+        if hi == 0:
+            return True
+        return (hi - lo) / abs(hi) <= self.tolerance

@@ -1,0 +1,52 @@
+"""Small statistics helpers shared across the analysis modules."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of a non-empty sequence."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2 == 1:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q / 100.0 * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean of a non-empty sequence."""
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def relative_errors(predicted: Sequence[float], measured: Sequence[float]) -> List[float]:
+    """Per-element ``|predicted - measured| / measured`` (measured != 0)."""
+    if len(predicted) != len(measured):
+        raise ValueError("length mismatch")
+    errors: List[float] = []
+    for p, m in zip(predicted, measured):
+        if m == 0:
+            raise ValueError("measured value of zero makes relative error undefined")
+        errors.append(abs(p - m) / abs(m))
+    return errors

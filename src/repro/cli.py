@@ -1,0 +1,182 @@
+"""Command-line interface.
+
+Run single experiments or sweeps from the shell::
+
+    repro run --setting core --flows 3000 --cca bbr --scale 50 --duration 60
+    repro run --setting edge --flows 30 --cca newreno
+    repro compete --setting core --flows 1000 --ccas bbr cubic --scale 50
+    repro models --rtt 0.02 --p 0.001
+
+Output is a human-readable experiment summary plus optional JSON
+(``--json``) for scripting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import List, Optional
+
+from .analysis.mathis_fit import fit_mathis
+from .core.experiment import run_experiment
+from .core.results import ExperimentResult
+from .core.scenarios import FlowGroup, Scenario, core_scale, edge_scale
+from .models.cubic_model import cubic_throughput
+from .models.mathis import mathis_throughput
+from .models.padhye import padhye_throughput
+from .units import MSS
+
+
+def _base_scenario(args: argparse.Namespace) -> Scenario:
+    if args.setting == "edge":
+        return edge_scale(
+            flows=args.flows,
+            cca=args.cca,
+            rtt=args.rtt,
+            duration=args.duration,
+            warmup=args.warmup,
+            seed=args.seed,
+        )
+    return core_scale(
+        flows=args.flows,
+        cca=args.cca,
+        rtt=args.rtt,
+        scale=args.scale,
+        duration=args.duration,
+        warmup=args.warmup,
+        seed=args.seed,
+    )
+
+
+def _result_json(result: ExperimentResult) -> dict:
+    return {
+        "scenario": dataclasses.asdict(result.scenario),
+        "measured_duration": result.measured_duration,
+        "utilization": result.utilization,
+        "aggregate_loss_rate": result.aggregate_loss_rate,
+        "jfi": result.jfi(),
+        "shares": result.shares(),
+        "flows": [
+            {
+                "flow_id": f.flow_id,
+                "cca": f.cca,
+                "goodput_bps": f.goodput_bps,
+                "loss_rate": f.loss_rate,
+                "halving_rate": f.halving_rate,
+                "rtos": f.rtos,
+            }
+            for f in result.flows
+        ],
+    }
+
+
+def _emit(result: ExperimentResult, args: argparse.Namespace) -> None:
+    print(result.summary())
+    if args.mathis:
+        for interp in ("loss", "halving"):
+            try:
+                fit = fit_mathis(result.observations(), interp, MSS)
+            except ValueError:
+                print(f"mathis[{interp}]: no usable observations")
+                continue
+            print(
+                f"mathis[{interp}]: C={fit.constant:.3f} "
+                f"median_error={fit.median_error:.1%}"
+            )
+    if args.json:
+        json.dump(_result_json(result), sys.stdout, indent=2)
+        print()
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = _base_scenario(args)
+    result = run_experiment(scenario, convergence_check=args.converge)
+    _emit(result, args)
+    return 0
+
+
+def _cmd_compete(args: argparse.Namespace) -> int:
+    if len(args.ccas) < 2:
+        print("compete needs at least two --ccas", file=sys.stderr)
+        return 2
+    base = _base_scenario(args)
+    share = base.total_flows // len(args.ccas)
+    if share < 1:
+        print("not enough flows for the requested CCA mix", file=sys.stderr)
+        return 2
+    groups = tuple(FlowGroup(cca, share, args.rtt) for cca in args.ccas)
+    scenario = base.with_overrides(
+        groups=groups, name=f"compete-{'-'.join(args.ccas)}"
+    )
+    result = run_experiment(scenario, convergence_check=args.converge)
+    _emit(result, args)
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    rows = [
+        ("mathis (C=0.94)", mathis_throughput(MSS, args.rtt, args.p)),
+        ("padhye/PFTK", padhye_throughput(MSS, args.rtt, args.p)),
+        ("cubic", cubic_throughput(MSS, args.rtt, args.p)),
+    ]
+    print(f"model predictions for RTT={args.rtt * 1000:.0f}ms p={args.p}:")
+    for name, rate in rows:
+        print(f"  {name:18s} {rate / 1e6:10.3f} Mbps")
+    if args.json:
+        json.dump({name: rate for name, rate in rows}, sys.stdout, indent=2)
+        print()
+    return 0
+
+
+def _add_experiment_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--setting", choices=("edge", "core"), default="core")
+    p.add_argument("--flows", type=int, default=1000,
+                   help="paper flow count (edge: actual count)")
+    p.add_argument("--cca", default="newreno")
+    p.add_argument("--rtt", type=float, default=0.020, help="base RTT in seconds")
+    p.add_argument("--scale", type=int, default=50,
+                   help="core-scale divisor (1 = the paper's full 10 Gbps)")
+    p.add_argument("--duration", type=float, default=30.0)
+    p.add_argument("--warmup", type=float, default=8.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--converge", action="store_true",
+                   help="enable the paper's early-stop convergence rule")
+    p.add_argument("--mathis", action="store_true",
+                   help="fit the Mathis constant from the run")
+    p.add_argument("--json", action="store_true", help="emit JSON after the summary")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="At-scale TCP throughput-model and fairness measurement harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one intra-CCA experiment")
+    _add_experiment_args(p_run)
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_compete = sub.add_parser("compete", help="run an inter-CCA competition")
+    _add_experiment_args(p_compete)
+    p_compete.add_argument("--ccas", nargs="+", default=["bbr", "newreno"])
+    p_compete.set_defaults(fn=_cmd_compete)
+
+    p_models = sub.add_parser("models", help="print analytic model predictions")
+    p_models.add_argument("--rtt", type=float, default=0.020)
+    p_models.add_argument("--p", type=float, default=0.001)
+    p_models.add_argument("--json", action="store_true")
+    p_models.set_defaults(fn=_cmd_models)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,34 @@
+"""Experiment core: scenarios, runner, results, sweeps."""
+
+from __future__ import annotations
+
+from .experiment import run_experiment
+from .results import ExperimentResult, FlowResult
+from .scenarios import (
+    CORE_FLOW_COUNTS,
+    DEFAULT_CORE_SCALE,
+    EDGE_FLOW_COUNTS,
+    RTT_SWEEP,
+    FlowGroup,
+    Scenario,
+    competition,
+    core_scale,
+    edge_scale,
+)
+from .sweep import run_sweep
+
+__all__ = [
+    "Scenario",
+    "FlowGroup",
+    "edge_scale",
+    "core_scale",
+    "competition",
+    "run_experiment",
+    "run_sweep",
+    "ExperimentResult",
+    "FlowResult",
+    "EDGE_FLOW_COUNTS",
+    "CORE_FLOW_COUNTS",
+    "RTT_SWEEP",
+    "DEFAULT_CORE_SCALE",
+]

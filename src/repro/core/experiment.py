@@ -1,0 +1,188 @@
+"""Experiment runner: the paper's measurement methodology, §3.2.
+
+Given a :class:`~repro.core.scenarios.Scenario`, :func:`run_experiment`:
+
+1. builds the dumbbell with one sender/receiver pair per flow;
+2. staggers flow starts uniformly in ``[0, stagger_max]`` (the paper
+   staggers over 0-2 minutes);
+3. discards everything before ``warmup`` (the paper discards the first
+   five minutes) — goodput, drops and cwnd events all start counting at
+   the warm-up cut;
+4. optionally stops early once aggregate goodput is stable (the paper's
+   "<1% change over 20 minutes" rule, applied over a proportional
+   window);
+5. returns an :class:`~repro.core.results.ExperimentResult` with
+   per-flow goodput, loss, halving counts and queue-level drop records.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import List
+
+from ..analysis.convergence import ConvergenceTracker
+from ..instrumentation.flowmon import FlowMonitor
+from ..instrumentation.queuemon import QueueMonitor
+from ..instrumentation.tcpprobe import CwndProbe
+from ..sim.engine import Simulator
+from ..sim.queue import DropTailQueue, Queue, REDQueue
+from ..sim.topology import FlowSpec, build_dumbbell
+from ..tcp.cca import CCA_REGISTRY
+from ..tcp.cca.base import CongestionControl
+from ..tcp.cca.bbr import Bbr
+from ..tcp.cca.bbr2 import Bbr2
+from .results import ExperimentResult, FlowResult
+from .scenarios import Scenario
+
+
+def _make_cca(name: str, rng: random.Random) -> CongestionControl:
+    """Instantiate a CCA, giving stochastic CCAs a per-flow seeded RNG."""
+    try:
+        factory = CCA_REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(set(CCA_REGISTRY)))
+        raise ValueError(f"unknown CCA {name!r}; known: {known}") from None
+    if factory in (Bbr, Bbr2):
+        return factory(rng=random.Random(rng.getrandbits(32)))
+    return factory()
+
+
+def _make_queue(scenario: Scenario, rng: random.Random) -> Queue:
+    if scenario.use_red_queue:
+        return REDQueue(scenario.buffer_bytes, rng=random.Random(rng.getrandbits(32)))
+    return DropTailQueue(scenario.buffer_bytes)
+
+
+def run_experiment(
+    scenario: Scenario,
+    record_drop_times: bool = True,
+    convergence_check: bool = False,
+    convergence_window_fraction: float = 0.25,
+    convergence_tolerance: float = 0.01,
+) -> ExperimentResult:
+    """Run one scenario to completion and collect all measurements.
+
+    Parameters
+    ----------
+    record_drop_times:
+        Keep the per-drop timestamp list (needed for burstiness
+        analysis; costs memory on very lossy runs).
+    convergence_check:
+        Enable the paper's early-stop rule: once past warm-up, stop when
+        aggregate delivered throughput changes by less than
+        ``convergence_tolerance`` over ``convergence_window_fraction``
+        of the post-warm-up duration.
+    """
+    rng = random.Random(scenario.seed)
+    sim = Simulator()
+
+    specs: List[FlowSpec] = []
+    cca_names: List[str] = []
+    for group in scenario.groups:
+        for _ in range(group.count):
+            start = rng.uniform(0.0, scenario.stagger_max) if scenario.stagger_max else 0.0
+            specs.append(
+                FlowSpec(
+                    cca=_make_cca(group.cca, rng),
+                    rtt=group.rtt,
+                    start_time=start,
+                    jitter=scenario.ack_jitter_fraction * group.rtt,
+                    jitter_seed=rng.getrandbits(32),
+                )
+            )
+            cca_names.append(group.cca)
+
+    queue = _make_queue(scenario, rng)
+    dumbbell = build_dumbbell(
+        sim,
+        specs,
+        bottleneck_bw_bps=scenario.bottleneck_bw_bps,
+        buffer_bytes=scenario.buffer_bytes,
+        queue=queue,
+        delayed_ack=scenario.delayed_ack,
+    )
+
+    queue_mon = QueueMonitor(
+        queue, record_drop_times=record_drop_times, start_time=scenario.warmup
+    )
+    probes = [
+        CwndProbe(flow.sender, start_time=scenario.warmup) for flow in dumbbell.flows
+    ]
+    senders = [flow.sender for flow in dumbbell.flows]
+    flow_mon = FlowMonitor(sim, senders)
+
+    dumbbell.start_all()
+    wall_start = time.perf_counter()
+    sim.run(until=scenario.warmup)
+    flow_mon.open_window()
+
+    if convergence_check:
+        measured_span = scenario.duration - scenario.warmup
+        window = max(convergence_window_fraction * measured_span, 1e-9)
+        tracker = ConvergenceTracker(window, convergence_tolerance)
+        tick = max(measured_span / 60.0, 1e-3)
+        stop_at = {"time": scenario.duration}
+
+        history: List[tuple] = [(sim.now, sum(s.snd_una for s in senders))]
+
+        def _sample() -> None:
+            # Track throughput averaged over the trailing half-window so
+            # the tolerance applies to a smoothed rate (the paper's
+            # 20-minute metric is similarly smooth), not to per-tick
+            # noise from individual loss events.
+            delivered = sum(s.snd_una for s in senders)
+            now = sim.now
+            history.append((now, delivered))
+            horizon = now - window / 2.0
+            while len(history) > 2 and history[1][0] <= horizon:
+                history.pop(0)
+            t0, d0 = history[0]
+            rate = (delivered - d0) / (now - t0) if now > t0 else 0.0
+            if tracker.observe(now, rate):
+                stop_at["time"] = min(stop_at["time"], now)
+                return
+            if now + tick <= scenario.duration:
+                sim.schedule(tick, _sample)
+
+        sim.schedule(tick, _sample)
+        # Run in slices so an early convergence verdict ends the run.
+        while sim.now < stop_at["time"]:
+            sim.run(until=min(sim.now + tick, stop_at["time"]))
+    else:
+        sim.run(until=scenario.duration)
+
+    flow_mon.close_window()
+    wall_seconds = time.perf_counter() - wall_start
+    measured_duration = sim.now - scenario.warmup
+
+    flows: List[FlowResult] = []
+    for flow, probe, cca_name in zip(dumbbell.flows, probes, cca_names):
+        sender = flow.sender
+        flows.append(
+            FlowResult(
+                flow_id=flow.flow_id,
+                cca=cca_name,
+                base_rtt=flow.spec.rtt,
+                measured_rtt=sender.rtt.srtt,
+                goodput_bps=flow_mon.goodput_bps(flow.flow_id),
+                delivered_packets=flow_mon.delivered_packets(flow.flow_id),
+                packets_sent=sender.stats.packets_sent,
+                retransmits=sender.stats.retransmits,
+                halvings=probe.halvings,
+                rtos=probe.rtos,
+                queue_drops=queue_mon.drops_by_flow.get(flow.flow_id, 0),
+                queue_arrivals=queue_mon.arrivals_by_flow.get(flow.flow_id, 0),
+            )
+        )
+
+    return ExperimentResult(
+        scenario=scenario,
+        flows=flows,
+        measured_duration=measured_duration,
+        queue_drops=queue_mon.drops_total,
+        queue_arrivals=queue_mon.arrivals_total,
+        drop_times=list(queue_mon.drop_times),
+        events_processed=sim.events_processed,
+        wall_seconds=wall_seconds,
+    )

@@ -1,0 +1,134 @@
+"""Experiment result containers and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis.fairness import jains_fairness_index
+from ..analysis.mathis_fit import FlowObservation
+from ..analysis.throughput import group_shares
+from ..units import MSS
+from .scenarios import Scenario
+
+
+@dataclass
+class FlowResult:
+    """Measurements for one flow over the measurement window."""
+
+    flow_id: int
+    cca: str
+    base_rtt: float
+    measured_rtt: Optional[float]
+    goodput_bps: float
+    delivered_packets: int
+    packets_sent: int
+    retransmits: int
+    halvings: int
+    rtos: int
+    queue_drops: int
+    queue_arrivals: int
+
+    @property
+    def congestion_events(self) -> int:
+        """Window reductions: fast-recovery entries + RTOs."""
+        return self.halvings + self.rtos
+
+    @property
+    def loss_rate(self) -> float:
+        """Per-flow packet loss rate at the bottleneck queue."""
+        offered = self.queue_arrivals + self.queue_drops
+        if offered == 0:
+            return 0.0
+        return self.queue_drops / offered
+
+    @property
+    def halving_rate(self) -> float:
+        """Congestion events per delivered packet (the Mathis ``p``)."""
+        if self.delivered_packets <= 0:
+            return 0.0
+        return self.congestion_events / self.delivered_packets
+
+    def observation(self) -> FlowObservation:
+        """This flow as a Mathis-fit observation."""
+        rtt = self.measured_rtt if self.measured_rtt else self.base_rtt
+        return FlowObservation(
+            goodput_bps=self.goodput_bps,
+            rtt_s=rtt,
+            loss_rate=self.loss_rate,
+            halving_rate=self.halving_rate,
+        )
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured in one experiment run."""
+
+    scenario: Scenario
+    flows: List[FlowResult]
+    measured_duration: float
+    queue_drops: int
+    queue_arrivals: int
+    drop_times: List[float] = field(default_factory=list)
+    events_processed: int = 0
+    wall_seconds: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+
+    @property
+    def aggregate_goodput_bps(self) -> float:
+        return sum(f.goodput_bps for f in self.flows)
+
+    @property
+    def aggregate_loss_rate(self) -> float:
+        """Queue-level loss rate: drops / packets offered."""
+        offered = self.queue_arrivals + self.queue_drops
+        if offered == 0:
+            return 0.0
+        return self.queue_drops / offered
+
+    @property
+    def total_congestion_events(self) -> int:
+        return sum(f.congestion_events for f in self.flows)
+
+    @property
+    def utilization(self) -> float:
+        """Goodput as a fraction of payload capacity."""
+        payload_capacity = self.scenario.bottleneck_bw_bps * (MSS / 1500.0)
+        return self.aggregate_goodput_bps / payload_capacity
+
+    def goodputs(self) -> Dict[int, float]:
+        """Per-flow goodput keyed by flow id."""
+        return {f.flow_id: f.goodput_bps for f in self.flows}
+
+    def flows_of(self, cca: str) -> List[FlowResult]:
+        """All flows running the named CCA."""
+        return [f for f in self.flows if f.cca == cca]
+
+    def jfi(self, cca: Optional[str] = None) -> float:
+        """Jain's Fairness Index over all flows, or over one CCA group."""
+        flows = self.flows_of(cca) if cca else self.flows
+        if not flows:
+            raise ValueError(f"no flows for cca={cca!r}")
+        return jains_fairness_index([f.goodput_bps for f in flows])
+
+    def shares(self) -> Dict[str, float]:
+        """Fraction of total goodput per CCA group (Figs 5-8)."""
+        return group_shares(self.goodputs(), {f.flow_id: f.cca for f in self.flows})
+
+    def observations(self) -> List[FlowObservation]:
+        """Mathis-fit observations for every flow."""
+        return [f.observation() for f in self.flows]
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest."""
+        lines = [
+            f"scenario={self.scenario.name} flows={len(self.flows)} "
+            f"duration={self.measured_duration:.1f}s "
+            f"util={self.utilization:.2%} loss={self.aggregate_loss_rate:.4%}",
+        ]
+        for name, share in sorted(self.shares().items()):
+            lines.append(f"  {name}: share={share:.2%} jfi={self.jfi(name):.3f}")
+        return "\n".join(lines)

@@ -1,0 +1,9 @@
+"""Measurement instrumentation: tcpprobe, queue drop logging, flow goodput."""
+
+from __future__ import annotations
+
+from .flowmon import FlowMonitor
+from .queuemon import OccupancySampler, QueueMonitor
+from .tcpprobe import CwndProbe
+
+__all__ = ["CwndProbe", "QueueMonitor", "OccupancySampler", "FlowMonitor"]

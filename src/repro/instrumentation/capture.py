@@ -1,0 +1,80 @@
+"""In-path packet capture (tcpdump, simulator edition).
+
+A :class:`PacketCapture` splices transparently into any path — it is a
+zero-delay element that records ``(time, flow_id, seq/ack, kind)`` for
+every packet passing through and forwards it unchanged. Useful for
+debugging CCA behaviour and for sequence-number/time plots.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional
+
+from ..sim.engine import Simulator
+from ..sim.link import Sink
+from ..sim.packet import Packet
+
+
+class CaptureRecord(NamedTuple):
+    time: float
+    flow_id: int
+    kind: str  # "data" or "ack"
+    seq: int   # packet number (data) or cumulative ack (ack)
+    size: int
+
+
+class PacketCapture:
+    """Records packets flowing through one point of the topology."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sink: Optional[Sink] = None,
+        flow_filter: Optional[int] = None,
+        max_records: Optional[int] = None,
+    ) -> None:
+        self.sim = sim
+        self.sink = sink
+        self.flow_filter = flow_filter
+        self.max_records = max_records
+        self.records: List[CaptureRecord] = []
+        self.forwarded = 0
+        self.truncated = False
+
+    def send(self, packet: Packet) -> None:
+        if self.sink is None:
+            raise RuntimeError("PacketCapture has no sink attached")
+        if self.flow_filter is None or packet.flow_id == self.flow_filter:
+            if self.max_records is None or len(self.records) < self.max_records:
+                self.records.append(
+                    CaptureRecord(
+                        self.sim.now,
+                        packet.flow_id,
+                        "ack" if packet.is_ack else "data",
+                        packet.ack_seq if packet.is_ack else packet.seq,
+                        packet.size,
+                    )
+                )
+            else:
+                self.truncated = True
+        self.forwarded += 1
+        self.sink.send(packet)
+
+    def for_flow(self, flow_id: int) -> List[CaptureRecord]:
+        """Records for one flow."""
+        return [r for r in self.records if r.flow_id == flow_id]
+
+    def data_records(self) -> List[CaptureRecord]:
+        return [r for r in self.records if r.kind == "data"]
+
+    def splice_before(self, element_attr_owner, attr: str = "path") -> None:
+        """Insert this capture in front of ``owner.<attr>``.
+
+        Example: ``capture.splice_before(sender)`` records everything the
+        sender transmits.
+        """
+        downstream = getattr(element_attr_owner, attr)
+        if downstream is None:
+            raise RuntimeError(f"{attr} is not wired yet")
+        self.sink = downstream
+        setattr(element_attr_owner, attr, self)

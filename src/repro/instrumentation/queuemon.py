@@ -1,0 +1,113 @@
+"""Bottleneck queue instrumentation.
+
+The paper computes the packet loss rate "by logging packet drops at the
+bottleneck queue in the software switch". :class:`QueueMonitor` is that
+logger: it hooks a queue's drop/enqueue listeners, attributes drops to
+flows, keeps drop timestamps (needed for the Goh–Barabási burstiness
+analysis of Finding 3), and can sample occupancy.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from ..sim.engine import Simulator
+from ..sim.packet import Packet
+from ..sim.queue import Queue
+
+
+class QueueMonitor:
+    """Counts and timestamps arrivals and drops at a bottleneck queue."""
+
+    def __init__(
+        self,
+        queue: Queue,
+        record_drop_times: bool = True,
+        start_time: float = 0.0,
+    ) -> None:
+        self.queue = queue
+        self.record_drop_times = record_drop_times
+        self.start_time = start_time
+        self.drops_total = 0
+        self.arrivals_total = 0
+        self.drops_by_flow: Dict[int, int] = defaultdict(int)
+        self.arrivals_by_flow: Dict[int, int] = defaultdict(int)
+        self.drop_times: List[float] = []
+        queue.drop_listener = self._on_drop
+        queue.enqueue_listener = self._on_enqueue
+
+    def _on_drop(self, now: float, packet: Packet) -> None:
+        if now < self.start_time:
+            return
+        self.drops_total += 1
+        self.drops_by_flow[packet.flow_id] += 1
+        if self.record_drop_times:
+            self.drop_times.append(now)
+
+    def _on_enqueue(self, now: float, packet: Packet) -> None:
+        if now < self.start_time:
+            return
+        self.arrivals_total += 1
+        self.arrivals_by_flow[packet.flow_id] += 1
+
+    @property
+    def offered_total(self) -> int:
+        """Packets offered to the queue (accepted + dropped)."""
+        return self.arrivals_total + self.drops_total
+
+    def loss_rate(self) -> float:
+        """Aggregate packet loss rate: drops / packets offered."""
+        offered = self.offered_total
+        if offered == 0:
+            return 0.0
+        return self.drops_total / offered
+
+    def flow_loss_rate(self, flow_id: int) -> float:
+        """Per-flow loss rate: flow drops / flow packets offered."""
+        offered = self.arrivals_by_flow.get(flow_id, 0) + self.drops_by_flow.get(flow_id, 0)
+        if offered == 0:
+            return 0.0
+        return self.drops_by_flow.get(flow_id, 0) / offered
+
+    def reset(self, at: Optional[float] = None) -> None:
+        """Zero all counters; optionally also move the start cut to ``at``."""
+        if at is not None:
+            self.start_time = at
+        self.drops_total = 0
+        self.arrivals_total = 0
+        self.drops_by_flow.clear()
+        self.arrivals_by_flow.clear()
+        self.drop_times.clear()
+
+
+class OccupancySampler:
+    """Periodically samples queue occupancy (bytes) for utilisation plots."""
+
+    def __init__(self, sim: Simulator, queue: Queue, interval: float = 0.1) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.queue = queue
+        self.interval = interval
+        self.times: List[float] = []
+        self.samples: List[int] = []
+        self._stopped = False
+        sim.schedule(interval, self._tick)
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        self.times.append(self.sim.now)
+        self.samples.append(self.queue.occupancy_bytes)
+        self.sim.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """Stop sampling (the pending event becomes a no-op)."""
+        self._stopped = True
+
+    def mean_occupancy(self) -> float:
+        """Average sampled occupancy in bytes."""
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)

@@ -1,0 +1,82 @@
+"""tcpprobe-style congestion window instrumentation.
+
+The paper measures the CWND halving rate with the Linux ``tcpprobe``
+module. :class:`CwndProbe` is the simulator equivalent: it attaches to a
+:class:`~repro.tcp.connection.TcpSender`'s ``cwnd_listener`` hook and
+records every window event, counting multiplicative decreases exactly
+(one per fast-recovery entry, one per RTO) rather than inferring them
+from sampled cwnd values as tcpprobe post-processing must.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..tcp.connection import TcpSender
+
+#: (time, kind, cwnd) tuples; kind in {"ack", "loss_event", "rto", "recovery_exit"}.
+CwndEvent = Tuple[float, str, float]
+
+
+class CwndProbe:
+    """Records cwnd events for one sender.
+
+    Parameters
+    ----------
+    record_samples:
+        Keep the full per-ACK cwnd time series (memory heavy at scale;
+        the halving counters are always kept).
+    start_time:
+        Events before this time are not counted (the paper discards the
+        warm-up period).
+    """
+
+    def __init__(
+        self,
+        sender: Optional[TcpSender] = None,
+        record_samples: bool = False,
+        start_time: float = 0.0,
+    ) -> None:
+        self.record_samples = record_samples
+        self.start_time = start_time
+        self.halvings = 0
+        self.rtos = 0
+        self.recovery_exits = 0
+        self.samples: List[CwndEvent] = []
+        self.last_cwnd: float = 0.0
+        if sender is not None:
+            self.attach(sender)
+
+    def attach(self, sender: TcpSender) -> None:
+        """Install this probe on ``sender`` (replaces any existing probe)."""
+        sender.cwnd_listener = self.on_event
+
+    def on_event(self, now: float, kind: str, cwnd: float) -> None:
+        self.last_cwnd = cwnd
+        if now < self.start_time:
+            return
+        if kind == "loss_event":
+            self.halvings += 1
+        elif kind == "rto":
+            self.rtos += 1
+        elif kind == "recovery_exit":
+            self.recovery_exits += 1
+        if self.record_samples:
+            self.samples.append((now, kind, cwnd))
+
+    @property
+    def congestion_events(self) -> int:
+        """Window-reduction events: fast-recovery entries plus RTOs.
+
+        This is the paper's "CWND halving" count — each loss event
+        reduces the window once no matter how many packets the burst
+        dropped.
+        """
+        return self.halvings + self.rtos
+
+    def reset(self) -> None:
+        """Zero all counters and drop recorded samples."""
+        self.halvings = 0
+        self.rtos = 0
+        self.recovery_exits = 0
+        self.samples.clear()

@@ -1,0 +1,79 @@
+"""The Mathis NewReno throughput model (Mathis et al., CCR 1997).
+
+    Throughput = MSS * C / (RTT * sqrt(p))
+
+The model's ``p`` is the *congestion event rate*. The paper's central
+observation (Findings 1-3) is that two interpretations of ``p`` —
+the packet loss rate and the CWND halving rate — agree at the edge but
+diverge by 6-9x at scale, so the constant ``C`` is only stable when the
+halving rate is used.
+
+This module provides prediction and the empirical derivation of ``C``
+by least squares, following the methodology Mathis et al. describe and
+the paper reuses for Table 1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+#: The constant Mathis et al. derive analytically for NewReno with
+#: delayed ACKs and SACK.
+MATHIS_C_DELAYED_SACK = 0.94
+
+
+def mathis_throughput(
+    mss_bytes: int, rtt_s: float, p: float, c: float = MATHIS_C_DELAYED_SACK
+) -> float:
+    """Predicted throughput in bits/second.
+
+    Parameters
+    ----------
+    mss_bytes:
+        Maximum segment size (the paper fixes 1448 bytes).
+    rtt_s:
+        Round-trip time in seconds.
+    p:
+        Congestion event rate per delivered packet (loss rate or CWND
+        halving rate, depending on the interpretation under test).
+    c:
+        The Mathis constant.
+    """
+    if rtt_s <= 0:
+        raise ValueError("rtt must be positive")
+    if not 0.0 < p <= 1.0:
+        raise ValueError("p must be in (0, 1]")
+    return mss_bytes * 8.0 * c / (rtt_s * math.sqrt(p))
+
+
+def derive_constant(
+    throughputs_bps: Sequence[float],
+    rtts_s: Sequence[float],
+    ps: Sequence[float],
+    mss_bytes: int,
+) -> float:
+    """Best-fit Mathis constant ``C`` by least squares.
+
+    Minimises ``sum_i (T_i - C * x_i)^2`` with
+    ``x_i = MSS*8 / (RTT_i * sqrt(p_i))``, which has the closed form
+    ``C = sum(x_i * T_i) / sum(x_i^2)``. This is the "C which minimizes
+    the least squared prediction error" procedure of Table 1.
+    """
+    if not throughputs_bps:
+        raise ValueError("need at least one observation")
+    if not (len(throughputs_bps) == len(rtts_s) == len(ps)):
+        raise ValueError("length mismatch between observations")
+    num = 0.0
+    den = 0.0
+    for t, rtt, p in zip(throughputs_bps, rtts_s, ps):
+        if rtt <= 0:
+            raise ValueError("rtt must be positive")
+        if p <= 0:
+            continue  # a flow that saw no congestion events carries no signal
+        x = mss_bytes * 8.0 / (rtt * math.sqrt(p))
+        num += x * t
+        den += x * x
+    if den == 0.0:
+        raise ValueError("no usable observations (all p were zero)")
+    return num / den

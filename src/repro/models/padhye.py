@@ -1,0 +1,54 @@
+"""The PFTK NewReno throughput model (Padhye et al., SIGCOMM 1998).
+
+The more detailed companion to the Mathis model, extending it with
+timeout behaviour and a cap at the receiver window:
+
+    T = min( Wmax/RTT,
+             MSS / (RTT*sqrt(2bp/3) + T0*min(1, 3*sqrt(3bp/8))*p*(1+32p^2)) )
+
+The paper cites this model alongside Mathis; it is included so users can
+compare both against measured goodput (timeouts matter precisely in the
+at-scale regime the paper studies, where per-flow windows are tiny).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+def padhye_throughput(
+    mss_bytes: int,
+    rtt_s: float,
+    p: float,
+    rto_s: float = 0.2,
+    b: int = 2,
+    max_window_packets: Optional[float] = None,
+) -> float:
+    """Predicted throughput in bits/second per the full PFTK model.
+
+    Parameters
+    ----------
+    b:
+        Packets acknowledged per ACK (2 with delayed ACKs).
+    rto_s:
+        Retransmission timeout T0 (Linux floors this at 200 ms, which we
+        use as the default).
+    max_window_packets:
+        Receiver/advertised window cap Wmax, in packets; ``None`` for
+        unbounded.
+    """
+    if rtt_s <= 0 or rto_s <= 0:
+        raise ValueError("rtt and rto must be positive")
+    if not 0.0 < p <= 1.0:
+        raise ValueError("p must be in (0, 1]")
+    if b < 1:
+        raise ValueError("b must be >= 1")
+    denom = rtt_s * math.sqrt(2.0 * b * p / 3.0)
+    denom += rto_s * min(1.0, 3.0 * math.sqrt(3.0 * b * p / 8.0)) * p * (1.0 + 32.0 * p * p)
+    rate_pps = 1.0 / denom
+    if max_window_packets is not None:
+        if max_window_packets <= 0:
+            raise ValueError("max_window_packets must be positive")
+        rate_pps = min(rate_pps, max_window_packets / rtt_s)
+    return rate_pps * mss_bytes * 8.0

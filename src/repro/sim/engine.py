@@ -1,0 +1,169 @@
+"""Discrete-event simulation engine.
+
+A small, fast event loop built on :mod:`heapq`. Every other component in
+:mod:`repro.sim` — links, queues, TCP endpoints — schedules callbacks
+through a single :class:`Simulator` instance.
+
+Design notes
+------------
+- Events are plain lists ``[time, seq, fn, args]`` so that heap ordering
+  uses C-level list comparison on ``(time, seq)`` — this matters: the
+  heap performs millions of comparisons per simulated second, and a
+  Python ``__lt__`` would dominate the profile. The ``seq`` tiebreaker
+  makes same-instant events fire in scheduling order (deterministic
+  runs) and guarantees the comparison never reaches the callback field.
+- Cancellation is lazy: :meth:`Simulator.cancel` nulls the callback and
+  the main loop skips the entry when popped. ``cancel`` is O(1), which
+  matters because TCP retransmission timers are re-armed constantly.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+#: A scheduled event: ``[time, seq, fn, args]``; ``fn is None`` once
+#: cancelled or executed. Treat as opaque outside this module except for
+#: the documented helpers below.
+Event = List[Any]
+
+_TIME = 0
+_SEQ = 1
+_FN = 2
+_ARGS = 3
+
+
+def event_time(event: Event) -> float:
+    """Scheduled firing time of an event handle."""
+    return event[_TIME]
+
+
+def event_pending(event: Event) -> bool:
+    """True while the event is scheduled and not yet cancelled/fired."""
+    return event[_FN] is not None
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid interactions with the simulator."""
+
+
+class Simulator:
+    """A discrete-event simulator with a virtual clock.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> fired = []
+    >>> _ = sim.schedule(1.5, fired.append, "hello")
+    >>> sim.run()
+    >>> sim.now, fired
+    (1.5, ['hello'])
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._running = False
+        self._events_processed = 0
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued, including lazily cancelled ones."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        event: Event = [self.now + delay, self._seq, fn, args]
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule into the past (time={time}, now={self.now})"
+            )
+        self._seq += 1
+        event: Event = [time, self._seq, fn, args]
+        heapq.heappush(self._heap, event)
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event. Cancelling twice is a harmless no-op."""
+        event[_FN] = None
+        event[_ARGS] = ()
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run the event loop.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time. Events scheduled at
+            exactly ``until`` still fire, and the clock is advanced to
+            ``until`` when the loop exhausts earlier events.
+        max_events:
+            Safety valve: stop after executing this many events.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run())")
+        self._running = True
+        heap = self._heap
+        pop = heapq.heappop
+        processed = self._events_processed
+        budget = None if max_events is None else max_events - processed
+        try:
+            while heap:
+                event = heap[0]
+                fn = event[_FN]
+                if fn is None:
+                    pop(heap)
+                    continue
+                time = event[_TIME]
+                if until is not None and time > until:
+                    break
+                pop(heap)
+                self.now = time
+                args = event[_ARGS]
+                event[_FN] = None
+                event[_ARGS] = ()
+                fn(*args)
+                processed += 1
+                if budget is not None:
+                    budget -= 1
+                    if budget <= 0:
+                        break
+        finally:
+            self._events_processed = processed
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+
+    def step(self) -> bool:
+        """Execute the single next pending event.
+
+        Returns ``True`` if an event was executed, ``False`` if the queue
+        was empty (cancelled events are skipped silently).
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            fn = event[_FN]
+            if fn is None:
+                continue
+            self.now = event[_TIME]
+            args = event[_ARGS]
+            event[_FN] = None
+            event[_ARGS] = ()
+            fn(*args)
+            self._events_processed += 1
+            return True
+        return False

@@ -1,0 +1,119 @@
+"""Network path elements: rate-limited links and pure-delay links.
+
+Every element forwards packets toward a *sink* — any object with a
+``send(packet)`` method (another element or an endpoint). This composes
+into per-flow paths built by :mod:`repro.sim.topology`.
+
+Two element types cover the dumbbell testbed:
+
+- :class:`Link` — finite-rate link with a queue discipline in front of
+  the transmitter and a propagation delay behind it. Used for the
+  bottleneck (the BESS switch port in the paper).
+- :class:`DelayLink` — infinite-rate, pure propagation delay. Used for
+  the 25 Gbps edge links, which by construction never congest in the
+  paper's testbed, so modelling their serialisation would only add
+  events without changing behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from .engine import Simulator
+from .packet import Packet
+from .queue import DropTailQueue, Queue
+
+
+class Sink(Protocol):
+    """Anything that can accept a packet."""
+
+    def send(self, packet: Packet) -> None: ...
+
+
+class DelayLink:
+    """A fixed propagation delay with unlimited bandwidth.
+
+    Zero-delay instances forward synchronously, avoiding a heap event —
+    useful to splice monitors into a path for free.
+    """
+
+    def __init__(self, sim: Simulator, delay: float, sink: Optional[Sink] = None) -> None:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.sim = sim
+        self.delay = delay
+        self.sink = sink
+        self.forwarded_packets = 0
+
+    def send(self, packet: Packet) -> None:
+        if self.sink is None:
+            raise RuntimeError("DelayLink has no sink attached")
+        self.forwarded_packets += 1
+        if self.delay == 0.0:
+            self.sink.send(packet)
+        else:
+            self.sim.schedule(self.delay, self.sink.send, packet)
+
+
+class Link:
+    """A rate-limited link: queue discipline + transmitter + propagation.
+
+    Packets offered while the transmitter is busy wait in ``queue``;
+    packets that the queue rejects are dropped (the queue handles drop
+    accounting and listener notification). The transmitter serialises one
+    packet at a time at ``rate_bps`` and delivers it to ``sink`` after an
+    additional propagation ``delay``.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        delay: float = 0.0,
+        queue: Optional[Queue] = None,
+        sink: Optional[Sink] = None,
+        queue_capacity_bytes: int = 1_000_000,
+    ) -> None:
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        if delay < 0:
+            raise ValueError("propagation delay must be non-negative")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.delay = delay
+        self.queue = queue if queue is not None else DropTailQueue(queue_capacity_bytes)
+        self.sink = sink
+        self.busy = False
+        self.transmitted_packets = 0
+        self.transmitted_bytes = 0
+
+    def send(self, packet: Packet) -> None:
+        """Offer a packet to the link (entry point for upstream elements)."""
+        if self.queue.offer(self.sim.now, packet):
+            if not self.busy:
+                self._start_next()
+
+    def _start_next(self) -> None:
+        packet = self.queue.poll(self.sim.now)
+        if packet is None:
+            self.busy = False
+            return
+        self.busy = True
+        tx_time = packet.size * 8.0 / self.rate_bps
+        self.sim.schedule(tx_time, self._finish, packet)
+
+    def _finish(self, packet: Packet) -> None:
+        self.transmitted_packets += 1
+        self.transmitted_bytes += packet.size
+        if self.sink is None:
+            raise RuntimeError("Link has no sink attached")
+        if self.delay == 0.0:
+            self.sink.send(packet)
+        else:
+            self.sim.schedule(self.delay, self.sink.send, packet)
+        self._start_next()
+
+    @property
+    def utilization_possible_bytes(self) -> int:
+        """Bytes this link could have carried since t=0 (for utilisation math)."""
+        return int(self.rate_bps * self.sim.now / 8.0)

@@ -1,0 +1,71 @@
+"""netem-style impairment element.
+
+The paper sets each flow's base RTT by adding delay with Linux ``netem``
+at the receiver. :class:`NetemDelay` reproduces that: a per-flow element
+adding constant delay, optional jitter, and optional random loss (the
+paper uses pure delay; jitter/loss are extensions for sensitivity
+studies).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from .engine import Simulator
+from .link import Sink
+from .packet import Packet
+
+
+class NetemDelay:
+    """Constant extra delay with optional uniform jitter and random loss.
+
+    Parameters
+    ----------
+    delay:
+        Base one-way delay added to every packet, seconds.
+    jitter:
+        If non-zero, each packet's delay is drawn uniformly from
+        ``[delay - jitter, delay + jitter]``. Packet reordering is
+        possible under jitter, exactly as with real netem without
+        reorder protection.
+    loss_rate:
+        Probability in [0, 1) of silently dropping each packet.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay: float,
+        sink: Optional[Sink] = None,
+        jitter: float = 0.0,
+        loss_rate: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if delay < 0 or jitter < 0:
+            raise ValueError("delay and jitter must be non-negative")
+        if jitter > delay:
+            raise ValueError("jitter must not exceed the base delay")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.sim = sim
+        self.delay = delay
+        self.jitter = jitter
+        self.loss_rate = loss_rate
+        self.sink = sink
+        self.dropped_packets = 0
+        self._rng = rng or random.Random(0x4E45)
+
+    def send(self, packet: Packet) -> None:
+        if self.sink is None:
+            raise RuntimeError("NetemDelay has no sink attached")
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            self.dropped_packets += 1
+            return
+        delay = self.delay
+        if self.jitter > 0.0:
+            delay += self._rng.uniform(-self.jitter, self.jitter)
+        if delay <= 0.0:
+            self.sink.send(packet)
+        else:
+            self.sim.schedule(delay, self.sink.send, packet)

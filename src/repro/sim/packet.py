@@ -1,0 +1,108 @@
+"""Packet representation.
+
+Packets are deliberately lightweight: a single slotted class covers both
+data segments and ACKs. The simulator moves millions of these per run, so
+no dataclass machinery or dictionaries are used.
+
+Sequence numbers count MSS-sized segments (packet number space), the
+standard simulator simplification — every CCA in this library operates
+per-MSS anyway, mirroring how the Linux stack tracks ``packets_out``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..units import ACK_PACKET_BYTES, DATA_PACKET_BYTES
+
+#: Type alias for a SACK block: a half-open packet-number range.
+SackBlock = Tuple[int, int]
+
+
+class Packet:
+    """A data segment or an ACK travelling through the simulated network.
+
+    Attributes
+    ----------
+    flow_id:
+        Identifier of the owning flow; used by queues/monitors to
+        attribute drops and by receivers to route.
+    seq:
+        Packet number of a data segment (index in MSS units).
+    size:
+        Wire size in bytes, used for serialisation delay and buffer
+        occupancy.
+    is_ack:
+        True for ACK packets travelling the reverse path.
+    ack_seq:
+        Cumulative ACK: the next packet number expected by the receiver.
+    sack_blocks:
+        Up to three most recently formed out-of-order ranges, newest
+        first (mirrors real TCP SACK option limits).
+    sent_time:
+        Simulated time the data segment was (re)transmitted.
+    delivered / delivered_time / first_sent_time / is_app_limited:
+        Delivery-rate-sampling state carried per the BBR draft
+        (Cheng et al., "Delivery Rate Estimation"); echoed back by ACKs
+        through the scoreboard rather than on the wire.
+    retransmitted:
+        True if this transmission is a retransmission (Karn's rule).
+    """
+
+    __slots__ = (
+        "flow_id",
+        "seq",
+        "size",
+        "is_ack",
+        "ack_seq",
+        "sack_blocks",
+        "sent_time",
+        "delivered",
+        "delivered_time",
+        "first_sent_time",
+        "is_app_limited",
+        "retransmitted",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        seq: int = 0,
+        size: int = DATA_PACKET_BYTES,
+        is_ack: bool = False,
+        ack_seq: int = 0,
+        sack_blocks: Optional[Tuple[SackBlock, ...]] = None,
+    ) -> None:
+        self.flow_id = flow_id
+        self.seq = seq
+        self.size = size
+        self.is_ack = is_ack
+        self.ack_seq = ack_seq
+        self.sack_blocks = sack_blocks or ()
+        self.sent_time = 0.0
+        self.delivered = 0
+        self.delivered_time = 0.0
+        self.first_sent_time = 0.0
+        self.is_app_limited = False
+        self.retransmitted = False
+
+    @classmethod
+    def data(cls, flow_id: int, seq: int, size: int = DATA_PACKET_BYTES) -> "Packet":
+        """Build a data segment."""
+        return cls(flow_id, seq=seq, size=size)
+
+    @classmethod
+    def ack(
+        cls,
+        flow_id: int,
+        ack_seq: int,
+        sack_blocks: Tuple[SackBlock, ...] = (),
+        size: int = ACK_PACKET_BYTES,
+    ) -> "Packet":
+        """Build an ACK for ``flow_id`` acknowledging up to ``ack_seq``."""
+        return cls(flow_id, size=size, is_ack=True, ack_seq=ack_seq, sack_blocks=sack_blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_ack:
+            return f"Ack(flow={self.flow_id}, ack={self.ack_seq}, sack={self.sack_blocks})"
+        return f"Data(flow={self.flow_id}, seq={self.seq}, size={self.size})"

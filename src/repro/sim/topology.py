@@ -1,0 +1,176 @@
+"""Dumbbell topology builder.
+
+Reconstructs the paper's testbed (Figure 1): sender/receiver node pairs
+on either side of a single bottleneck — the BESS software switch in the
+paper, a rate-limited :class:`repro.sim.link.Link` with a drop-tail
+queue here. Edge links are uncongested by construction (25 Gbps in the
+paper), so they are modelled as pure propagation delays; per-flow base
+RTT is set with a netem-style delay element on the ACK path, exactly
+where the paper inserts it (at the receiver).
+
+The builder wires one :class:`~repro.tcp.connection.TcpSender` /
+:class:`~repro.tcp.connection.TcpReceiver` pair per flow and returns a
+:class:`Dumbbell` handle exposing the bottleneck queue and the flows.
+"""
+
+from __future__ import annotations
+
+import random
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..tcp.cca.base import CongestionControl
+from ..tcp.connection import TcpReceiver, TcpSender
+from ..units import DATA_PACKET_BYTES
+from .engine import Simulator
+from .link import DelayLink, Link
+from .netem import NetemDelay
+from .queue import DropTailQueue, Queue
+
+
+@dataclass
+class FlowSpec:
+    """Configuration for one flow in the dumbbell.
+
+    ``rtt`` is the flow's base (uncongested) round-trip time; the
+    builder splits it between a fixed forward propagation component and
+    a netem delay on the ACK path. ``start_time`` implements the paper's
+    staggered flow arrival. ``total_packets=None`` gives the paper's
+    infinite ("long-running") flows.
+    """
+
+    cca: CongestionControl
+    rtt: float = 0.020
+    start_time: float = 0.0
+    total_packets: Optional[int] = None
+    #: Uniform +/- jitter applied by the netem element on the ACK path.
+    #: Physical testbeds have inherent timing noise that desynchronises
+    #: flows; a deterministic simulator needs a little injected jitter to
+    #: avoid drop-tail phase-locking artifacts (the classic ns-2 issue).
+    jitter: float = 0.0
+    #: Seed for this flow's netem RNG (derived by the builder if None).
+    jitter_seed: Optional[int] = None
+
+
+@dataclass
+class Flow:
+    """A wired-up sender/receiver pair."""
+
+    flow_id: int
+    spec: FlowSpec
+    sender: TcpSender
+    receiver: TcpReceiver
+
+
+@dataclass
+class Dumbbell:
+    """The built topology: bottleneck link plus all flows."""
+
+    sim: Simulator
+    bottleneck: Link
+    flows: List[Flow] = field(default_factory=list)
+
+    @property
+    def queue(self) -> Queue:
+        return self.bottleneck.queue
+
+    def start_all(self) -> None:
+        """Start every flow at its configured start time."""
+        for flow in self.flows:
+            flow.sender.start(at=flow.spec.start_time)
+
+
+class _Demux:
+    """Delivers packets to the right per-flow endpoint by flow id."""
+
+    def __init__(self) -> None:
+        self._sinks: dict[int, object] = {}
+
+    def register(self, flow_id: int, sink) -> None:
+        self._sinks[flow_id] = sink
+
+    def send(self, packet) -> None:
+        self._sinks[packet.flow_id].send(packet)
+
+
+def build_dumbbell(
+    sim: Simulator,
+    flow_specs: Sequence[FlowSpec],
+    bottleneck_bw_bps: float,
+    buffer_bytes: int,
+    queue: Optional[Queue] = None,
+    mss: int = DATA_PACKET_BYTES,
+    bottleneck_prop_delay: float = 0.0005,
+    delayed_ack: bool = True,
+) -> Dumbbell:
+    """Build the paper's dumbbell for the given flows.
+
+    Parameters
+    ----------
+    flow_specs:
+        One :class:`FlowSpec` per flow. Each flow's base RTT must be at
+        least ``4 * bottleneck_prop_delay`` (the fixed propagation parts).
+    bottleneck_bw_bps:
+        Bottleneck link rate (the paper varies this between 100 Mbps and
+        10 Gbps).
+    buffer_bytes:
+        Bottleneck buffer size (the paper uses ~1 BDP at 200 ms).
+    queue:
+        Custom queue discipline; defaults to drop-tail like the paper.
+    """
+    if not flow_specs:
+        raise ValueError("at least one flow is required")
+    if queue is None:
+        queue = DropTailQueue(buffer_bytes)
+    demux = _Demux()
+    # All forward-path propagation (sender->switch access hop plus
+    # switch->receiver hop) is folded into the bottleneck's delivery
+    # delay: the edge links never congest (25 Gbps in the paper), so
+    # only the total matters, and folding halves the event count.
+    bottleneck = Link(
+        sim,
+        rate_bps=bottleneck_bw_bps,
+        delay=2 * bottleneck_prop_delay,
+        queue=queue,
+        sink=demux,
+    )
+    dumbbell = Dumbbell(sim=sim, bottleneck=bottleneck)
+    fixed_component = 4 * bottleneck_prop_delay
+    for flow_id, spec in enumerate(flow_specs):
+        if spec.rtt < fixed_component:
+            raise ValueError(
+                f"flow {flow_id}: rtt {spec.rtt} below fixed propagation "
+                f"{fixed_component}"
+            )
+        sender = TcpSender(
+            sim,
+            flow_id,
+            spec.cca,
+            total_packets=spec.total_packets,
+            mss=mss,
+        )
+        receiver = TcpReceiver(sim, flow_id, delayed_ack=delayed_ack)
+        # Forward path: sender -> bottleneck (access hop folded above).
+        sender.path = bottleneck
+        demux.register(flow_id, receiver)
+        # Reverse path: one netem element carrying the flow's base-RTT
+        # delay plus the fixed reverse propagation (paper: netem at the
+        # receiver sets the base RTT).
+        netem_delay = spec.rtt - fixed_component
+        jitter = min(spec.jitter, netem_delay + 2 * bottleneck_prop_delay)
+        if netem_delay > 0 or jitter > 0:
+            reverse: object = NetemDelay(
+                sim,
+                netem_delay + 2 * bottleneck_prop_delay,
+                sink=sender,
+                jitter=jitter,
+                rng=random.Random(
+                    spec.jitter_seed if spec.jitter_seed is not None else flow_id
+                ),
+            )
+        else:
+            reverse = DelayLink(sim, 2 * bottleneck_prop_delay, sink=sender)
+        receiver.reverse_path = reverse
+        dumbbell.flows.append(Flow(flow_id, spec, sender, receiver))
+    return dumbbell

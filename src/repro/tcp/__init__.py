@@ -1,0 +1,18 @@
+"""TCP transport substrate: connection machinery, SACK, RTT, pacing, CCAs."""
+
+from __future__ import annotations
+
+from .connection import ConnectionStats, TcpReceiver, TcpSender
+from .rangeset import RangeSet
+from .rate_sample import DeliveryRateEstimator, RateSample
+from .rtt import RttEstimator
+
+__all__ = [
+    "TcpSender",
+    "TcpReceiver",
+    "ConnectionStats",
+    "RangeSet",
+    "RateSample",
+    "DeliveryRateEstimator",
+    "RttEstimator",
+]

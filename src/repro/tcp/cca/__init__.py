@@ -1,0 +1,52 @@
+"""Congestion control algorithms.
+
+Provides the three CCAs the paper evaluates (NewReno, Cubic, BBRv1) plus
+Vegas as an extension, and a name-based factory used by scenario
+definitions and the CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from .base import CongestionControl
+from .bbr import Bbr
+from .bbr2 import Bbr2
+from .cubic import Cubic
+from .newreno import NewReno
+from .vegas import Vegas
+
+#: Registry mapping CCA names to zero-argument factories.
+CCA_REGISTRY: Dict[str, Callable[[], CongestionControl]] = {
+    NewReno.name: NewReno,
+    Cubic.name: Cubic,
+    Bbr.name: Bbr,
+    Bbr2.name: Bbr2,
+    Vegas.name: Vegas,
+    # Common aliases.
+    "reno": NewReno,
+    "bbr1": Bbr,
+    "bbrv2": Bbr2,
+}
+
+
+def make_cca(name: str) -> CongestionControl:
+    """Instantiate a CCA by name (e.g. ``"newreno"``, ``"cubic"``, ``"bbr"``)."""
+    try:
+        factory = CCA_REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(set(CCA_REGISTRY)))
+        raise ValueError(f"unknown CCA {name!r}; known: {known}") from None
+    return factory()
+
+
+__all__ = [
+    "CongestionControl",
+    "NewReno",
+    "Cubic",
+    "Bbr",
+    "Bbr2",
+    "Vegas",
+    "CCA_REGISTRY",
+    "make_cca",
+]

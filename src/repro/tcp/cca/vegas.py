@@ -1,0 +1,83 @@
+"""TCP Vegas congestion control (Brakmo et al., 1994).
+
+Delay-based CCA included as an extension: the paper mentions Vegas in
+its CCA survey but does not evaluate it. Having a delay-based algorithm
+in the library lets users extend the paper's sweeps to a third CCA
+family (see ``examples/``), and exercises the RateSample RTT plumbing a
+second way.
+
+Implements the classic per-RTT decision rule: with ``diff = cwnd *
+(rtt - base_rtt) / rtt`` packets estimated queued, increase cwnd by one
+when ``diff < alpha``, decrease by one when ``diff > beta``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..rate_sample import RateSample
+from .base import CongestionControl
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..connection import TcpSender
+
+
+class Vegas(CongestionControl):
+    """TCP Vegas with slow start and alpha/beta steady-state control."""
+
+    name = "vegas"
+
+    def __init__(self, alpha: float = 2.0, beta: float = 4.0) -> None:
+        super().__init__()
+        if not 0 < alpha <= beta:
+            raise ValueError("require 0 < alpha <= beta")
+        self.alpha = alpha
+        self.beta = beta
+        self.ssthresh = float("inf")
+        self.base_rtt: Optional[float] = None
+        self._min_rtt_this_round: Optional[float] = None
+        self._next_adjust_delivered = 0
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def on_ack(self, rs: RateSample, conn: "TcpSender") -> None:
+        if rs.rtt is not None and rs.rtt > 0:
+            if self.base_rtt is None or rs.rtt < self.base_rtt:
+                self.base_rtt = rs.rtt
+            if self._min_rtt_this_round is None or rs.rtt < self._min_rtt_this_round:
+                self._min_rtt_this_round = rs.rtt
+        if rs.newly_acked <= 0 or conn.in_recovery:
+            return
+        delivered = conn.rate_estimator.delivered
+        if delivered < self._next_adjust_delivered:
+            return
+        # One adjustment per round trip (per cwnd of deliveries).
+        self._next_adjust_delivered = delivered + int(self.cwnd)
+        rtt = self._min_rtt_this_round
+        self._min_rtt_this_round = None
+        if rtt is None or self.base_rtt is None or rtt <= 0:
+            return
+        if self.in_slow_start:
+            # Vegas slow start: grow every other round; leave when the
+            # queue estimate exceeds one packet.
+            diff = self.cwnd * (rtt - self.base_rtt) / rtt
+            if diff > 1.0:
+                self.ssthresh = self.cwnd
+            else:
+                self.cwnd += self.cwnd / 2.0
+            return
+        diff = self.cwnd * (rtt - self.base_rtt) / rtt
+        if diff < self.alpha:
+            self.cwnd += 1.0
+        elif diff > self.beta:
+            self.cwnd = max(self.cwnd - 1.0, self.MIN_CWND)
+
+    def on_loss_event(self, conn: "TcpSender") -> None:
+        self.ssthresh = max(self.cwnd * 0.5, self.MIN_CWND)
+        self.cwnd = max(self.cwnd * 0.75, self.MIN_CWND)
+
+    def on_rto(self, conn: "TcpSender") -> None:
+        self.ssthresh = max(conn.in_flight * 0.5, self.MIN_CWND)
+        self.cwnd = 1.0

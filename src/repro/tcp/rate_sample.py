@@ -1,0 +1,113 @@
+"""Delivery rate estimation (Cheng, Cardwell et al.).
+
+Implements the per-connection bookkeeping and per-ACK rate-sample
+generation from draft-cheng-iccrg-delivery-rate-estimation, which is the
+measurement substrate BBR's bandwidth filter consumes. The same sample
+object is handed to every CCA on each ACK, so loss-based CCAs can also
+observe delivery rate if they wish (Vegas uses the RTT fields).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class RateSample:
+    """A delivery rate sample covering one ACK's newly delivered data.
+
+    Attributes mirror the draft: ``delivery_rate`` is in packets per
+    second (the library's sequence space is packet-numbered), ``rtt`` is
+    the ACK's RTT sample if one was taken, and ``is_app_limited`` marks
+    samples that may underestimate the path capacity.
+    """
+
+    __slots__ = (
+        "delivered",
+        "prior_delivered",
+        "interval",
+        "delivery_rate",
+        "rtt",
+        "is_app_limited",
+        "prior_in_flight",
+        "newly_acked",
+        "newly_lost",
+    )
+
+    def __init__(self) -> None:
+        self.delivered = 0
+        self.prior_delivered = 0
+        self.interval = 0.0
+        self.delivery_rate: Optional[float] = None
+        self.rtt: Optional[float] = None
+        self.is_app_limited = False
+        self.prior_in_flight = 0
+        self.newly_acked = 0
+        self.newly_lost = 0
+
+
+class DeliveryRateEstimator:
+    """Per-connection delivery accounting.
+
+    The owning connection calls :meth:`on_packet_sent` when transmitting
+    and :meth:`on_packet_delivered` for each packet newly cumulatively
+    ACKed or SACKed, then :meth:`finish_sample` once per ACK to produce
+    the :class:`RateSample`.
+    """
+
+    def __init__(self) -> None:
+        self.delivered = 0
+        self.delivered_time = 0.0
+        self.first_sent_time = 0.0
+        self.app_limited_until = 0  # 'delivered' marker; 0 = not app limited
+
+    def on_packet_sent(self, pkt_state, now: float, in_flight: int) -> None:
+        """Stamp per-packet send state (draft's ``SendPacket``)."""
+        if in_flight == 0:
+            self.first_sent_time = now
+            self.delivered_time = now
+        pkt_state.sent_time = now
+        pkt_state.first_sent_time = self.first_sent_time
+        pkt_state.delivered = self.delivered
+        pkt_state.delivered_time = self.delivered_time
+        pkt_state.is_app_limited = self.app_limited_until > 0
+
+    def start_sample(self, in_flight: int) -> RateSample:
+        """Begin a new per-ACK sample (records prior in-flight)."""
+        rs = RateSample()
+        rs.prior_in_flight = in_flight
+        return rs
+
+    def on_packet_delivered(self, rs: RateSample, pkt_state, now: float) -> None:
+        """Account one newly delivered packet (draft's ``UpdateRateSample``)."""
+        if pkt_state.delivered_time is None:
+            return  # already accounted through an earlier SACK
+        self.delivered += 1
+        self.delivered_time = now
+        if pkt_state.delivered >= rs.prior_delivered:
+            rs.prior_delivered = pkt_state.delivered
+            rs.is_app_limited = pkt_state.is_app_limited
+            send_elapsed = pkt_state.sent_time - pkt_state.first_sent_time
+            ack_elapsed = self.delivered_time - pkt_state.delivered_time
+            rs.interval = max(send_elapsed, ack_elapsed)
+            self.first_sent_time = pkt_state.sent_time
+        pkt_state.delivered_time = None
+        if self.app_limited_until and self.delivered > self.app_limited_until:
+            self.app_limited_until = 0
+
+    def finish_sample(self, rs: RateSample, min_rtt_hint: Optional[float]) -> RateSample:
+        """Finalise the per-ACK sample, computing ``delivery_rate``."""
+        rs.delivered = self.delivered - rs.prior_delivered
+        if rs.delivered <= 0 or rs.interval <= 0:
+            rs.delivery_rate = None
+            return rs
+        if min_rtt_hint is not None and rs.interval < min_rtt_hint:
+            # Interval shorter than the path's min RTT cannot yield a
+            # trustworthy bandwidth sample (draft §3.3).
+            rs.delivery_rate = None
+            return rs
+        rs.delivery_rate = rs.delivered / rs.interval
+        return rs
+
+    def mark_app_limited(self, in_flight: int) -> None:
+        """Record that sending is application-limited right now."""
+        self.app_limited_until = max(self.delivered + in_flight, 1)

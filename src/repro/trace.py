@@ -1,0 +1,151 @@
+"""Result and time-series export.
+
+The paper's analysis pipeline lives off experiment artefacts: per-flow
+summaries, queue drop logs, cwnd traces. This module writes those as
+CSV/JSON so external tooling (pandas, gnuplot, the paper's own plotting
+scripts) can consume them.
+
+- :func:`write_flow_csv` — one row per flow (goodput, loss, halvings…);
+- :func:`write_drops_csv` — the bottleneck drop-time series;
+- :func:`write_cwnd_csv` — a :class:`~repro.instrumentation.tcpprobe.CwndProbe`
+  sample series (tcpprobe's output format, simulator edition);
+- :func:`result_to_dict` / :func:`write_result_json` — everything, as
+  one JSON document.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from typing import IO, Iterable, Union
+
+from .core.results import ExperimentResult
+from .instrumentation.tcpprobe import CwndProbe
+
+PathOrFile = Union[str, IO[str]]
+
+FLOW_FIELDS = (
+    "flow_id",
+    "cca",
+    "base_rtt",
+    "measured_rtt",
+    "goodput_bps",
+    "delivered_packets",
+    "packets_sent",
+    "retransmits",
+    "halvings",
+    "rtos",
+    "queue_drops",
+    "queue_arrivals",
+    "loss_rate",
+    "halving_rate",
+)
+
+
+def _open(dest: PathOrFile):
+    if isinstance(dest, str):
+        return open(dest, "w", newline=""), True
+    return dest, False
+
+
+def write_flow_csv(result: ExperimentResult, dest: PathOrFile) -> None:
+    """Write one CSV row per flow with all measured quantities."""
+    fh, owned = _open(dest)
+    try:
+        writer = csv.writer(fh)
+        writer.writerow(FLOW_FIELDS)
+        for flow in result.flows:
+            writer.writerow(
+                [
+                    flow.flow_id,
+                    flow.cca,
+                    flow.base_rtt,
+                    flow.measured_rtt if flow.measured_rtt is not None else "",
+                    flow.goodput_bps,
+                    flow.delivered_packets,
+                    flow.packets_sent,
+                    flow.retransmits,
+                    flow.halvings,
+                    flow.rtos,
+                    flow.queue_drops,
+                    flow.queue_arrivals,
+                    flow.loss_rate,
+                    flow.halving_rate,
+                ]
+            )
+    finally:
+        if owned:
+            fh.close()
+
+
+def write_drops_csv(result: ExperimentResult, dest: PathOrFile) -> None:
+    """Write the bottleneck drop timestamps (one per row)."""
+    fh, owned = _open(dest)
+    try:
+        writer = csv.writer(fh)
+        writer.writerow(["drop_time_s"])
+        for t in result.drop_times:
+            writer.writerow([t])
+    finally:
+        if owned:
+            fh.close()
+
+
+def write_cwnd_csv(probe: CwndProbe, dest: PathOrFile) -> None:
+    """Write a cwnd probe's recorded samples (needs ``record_samples``)."""
+    fh, owned = _open(dest)
+    try:
+        writer = csv.writer(fh)
+        writer.writerow(["time_s", "event", "cwnd_packets"])
+        for t, kind, cwnd in probe.samples:
+            writer.writerow([t, kind, cwnd])
+    finally:
+        if owned:
+            fh.close()
+
+
+def result_to_dict(result: ExperimentResult, include_drop_times: bool = False) -> dict:
+    """The full result as a JSON-serialisable dictionary."""
+    payload = {
+        "scenario": dataclasses.asdict(result.scenario),
+        "measured_duration": result.measured_duration,
+        "utilization": result.utilization,
+        "aggregate_goodput_bps": result.aggregate_goodput_bps,
+        "aggregate_loss_rate": result.aggregate_loss_rate,
+        "total_congestion_events": result.total_congestion_events,
+        "queue_drops": result.queue_drops,
+        "queue_arrivals": result.queue_arrivals,
+        "jfi": result.jfi(),
+        "shares": result.shares(),
+        "flows": [
+            {field: getattr(flow, field) for field in FLOW_FIELDS[:12]}
+            | {"loss_rate": flow.loss_rate, "halving_rate": flow.halving_rate}
+            for flow in result.flows
+        ],
+    }
+    if include_drop_times:
+        payload["drop_times"] = list(result.drop_times)
+    return payload
+
+
+def write_result_json(
+    result: ExperimentResult, dest: PathOrFile, include_drop_times: bool = False
+) -> None:
+    """Serialise the full result as a JSON document."""
+    fh, owned = _open(dest)
+    try:
+        json.dump(result_to_dict(result, include_drop_times), fh, indent=2)
+        fh.write("\n")
+    finally:
+        if owned:
+            fh.close()
+
+
+def read_flow_csv(source: PathOrFile) -> Iterable[dict]:
+    """Read back rows produced by :func:`write_flow_csv` as dicts."""
+    if isinstance(source, str):
+        with open(source, newline="") as fh:
+            yield from list(csv.DictReader(fh))
+    else:
+        yield from csv.DictReader(source)

@@ -1,0 +1,85 @@
+"""Tests for the Goh-Barabási burstiness score."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.burstiness import (
+    burstiness_score,
+    inter_event_times,
+    windowed_burstiness,
+)
+
+
+def test_inter_event_times_sorts_input():
+    assert inter_event_times([3.0, 1.0, 2.0]) == [1.0, 1.0]
+    assert inter_event_times([1.0]) == []
+
+
+def test_periodic_signal_scores_minus_one():
+    events = [i * 0.5 for i in range(100)]
+    assert burstiness_score(events) == pytest.approx(-1.0)
+
+
+def test_poisson_signal_scores_near_zero():
+    rng = random.Random(7)
+    t, events = 0.0, []
+    for _ in range(20_000):
+        t += rng.expovariate(10.0)
+        events.append(t)
+    assert abs(burstiness_score(events)) < 0.05
+
+
+def test_bursty_signal_scores_positive():
+    # Tight bursts separated by long gaps.
+    events = []
+    for burst in range(30):
+        base = burst * 100.0
+        events.extend(base + 0.001 * i for i in range(20))
+    assert burstiness_score(events) > 0.5
+
+
+def test_requires_three_events():
+    with pytest.raises(ValueError):
+        burstiness_score([1.0, 2.0])
+
+
+@given(
+    st.lists(
+        st.floats(0, 1e6, allow_nan=False, allow_infinity=False),
+        min_size=3,
+        max_size=200,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_score_bounded(events):
+    # Degenerate all-equal-gaps cases give sigma=0 -> score -1; all
+    # results must stay within [-1, 1].
+    try:
+        score = burstiness_score(events)
+    except ValueError:
+        return  # fewer than 2 distinct gaps after dedup is fine to reject
+    assert -1.0 - 1e-9 <= score <= 1.0 + 1e-9
+
+
+class TestWindowed:
+    def test_windows_skip_sparse_buckets(self):
+        events = [0.0, 0.1, 0.2, 50.0]  # second window has 1 event
+        scores = windowed_burstiness(events, window=1.0)
+        assert len(scores) == 1
+
+    def test_empty_input(self):
+        assert windowed_burstiness([], 1.0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            windowed_burstiness([1.0], 0.0)
+
+    def test_scores_in_range(self):
+        rng = random.Random(3)
+        events = sorted(rng.uniform(0, 100) for _ in range(5000))
+        scores = windowed_burstiness(events, window=5.0)
+        assert scores
+        assert all(-1.0 <= s <= 1.0 for s in scores)

@@ -1,0 +1,75 @@
+"""Tests for the paper's convergence stop rule."""
+
+import pytest
+
+from repro.analysis.convergence import ConvergenceTracker, has_converged
+
+
+class TestHasConverged:
+    def test_flat_series_converges(self):
+        times = [float(t) for t in range(20)]
+        values = [5.0] * 20
+        assert has_converged(times, values, window=5.0)
+
+    def test_trending_series_does_not(self):
+        times = [float(t) for t in range(20)]
+        values = [float(t) for t in range(20)]
+        assert not has_converged(times, values, window=5.0, tolerance=0.01)
+
+    def test_within_tolerance(self):
+        times = [0.0, 1.0, 2.0, 3.0, 4.0]
+        values = [100.0, 100.4, 99.8, 100.2, 100.0]
+        assert has_converged(times, values, window=3.0, tolerance=0.01)
+        assert not has_converged(times, values, window=3.0, tolerance=0.001)
+
+    def test_series_shorter_than_window(self):
+        assert not has_converged([0.0, 1.0], [1.0, 1.0], window=5.0)
+
+    def test_old_instability_ignored(self):
+        times = [float(t) for t in range(30)]
+        values = [50.0 if t < 20 else 100.0 for t in range(30)]
+        assert has_converged(times, values, window=5.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            has_converged([0.0], [1.0, 2.0], window=1.0)
+        with pytest.raises(ValueError):
+            has_converged([0.0], [1.0], window=0.0)
+
+
+class TestTracker:
+    def test_flips_once_stable(self):
+        tracker = ConvergenceTracker(window=5.0, tolerance=0.01)
+        verdicts = [tracker.observe(float(t), 10.0) for t in range(10)]
+        assert verdicts[0] is False
+        assert verdicts[-1] is True
+        assert tracker.converged_at == 5.0
+
+    def test_callback_fires_once(self):
+        fired = []
+        tracker = ConvergenceTracker(5.0, on_converged=fired.append)
+        for t in range(20):
+            tracker.observe(float(t), 1.0)
+        assert fired == [5.0]
+
+    def test_never_converges_on_growth(self):
+        tracker = ConvergenceTracker(window=5.0, tolerance=0.01)
+        for t in range(50):
+            tracker.observe(float(t), float(t + 1))
+        assert not tracker.converged
+
+    def test_out_of_order_samples_rejected(self):
+        tracker = ConvergenceTracker(5.0)
+        tracker.observe(1.0, 1.0)
+        with pytest.raises(ValueError):
+            tracker.observe(0.5, 1.0)
+
+    def test_window_trimming_bounds_memory(self):
+        tracker = ConvergenceTracker(window=2.0, tolerance=1e-9)
+        for t in range(1000):
+            tracker.observe(float(t), float(t % 7))
+        assert len(tracker._times) < 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvergenceTracker(window=0.0)

@@ -1,0 +1,61 @@
+"""Tests for throughput share and ratio analyses."""
+
+import pytest
+
+from repro.analysis.throughput import (
+    fair_share_bps,
+    group_shares,
+    link_utilization,
+    loss_to_halving_ratio,
+    per_flow_event_rate,
+)
+
+
+class TestGroupShares:
+    def test_basic_split(self):
+        goodputs = {0: 30.0, 1: 10.0, 2: 60.0}
+        groups = {0: "cubic", 1: "cubic", 2: "reno"}
+        shares = group_shares(goodputs, groups)
+        assert shares == {"cubic": pytest.approx(0.4), "reno": pytest.approx(0.6)}
+
+    def test_shares_sum_to_one(self):
+        goodputs = {i: float(i + 1) for i in range(10)}
+        groups = {i: "g" + str(i % 3) for i in range(10)}
+        assert sum(group_shares(goodputs, groups).values()) == pytest.approx(1.0)
+
+    def test_all_zero(self):
+        shares = group_shares({0: 0.0, 1: 0.0}, {0: "a", 1: "b"})
+        assert shares == {"a": 0.0, "b": 0.0}
+
+
+class TestRatios:
+    def test_loss_to_halving(self):
+        assert loss_to_halving_ratio(60, 10) == 6.0
+
+    def test_no_events_raises(self):
+        with pytest.raises(ValueError):
+            loss_to_halving_ratio(10, 0)
+
+    def test_negative_losses_raise(self):
+        with pytest.raises(ValueError):
+            loss_to_halving_ratio(-1, 10)
+
+    def test_per_flow_event_rate(self):
+        assert per_flow_event_rate(5, 1000) == 0.005
+        assert per_flow_event_rate(5, 0) == 0.0
+
+
+class TestUtilization:
+    def test_fully_loaded(self):
+        payload = 1448 / 1500
+        assert link_utilization(100e6 * payload, 100e6) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            link_utilization(1.0, 0.0)
+
+
+def test_fair_share():
+    assert fair_share_bps(100e6, 4) == 25e6
+    with pytest.raises(ValueError):
+        fair_share_bps(100e6, 0)

@@ -1,0 +1,44 @@
+"""Tests for the CCA factory registry."""
+
+import pytest
+
+from repro.tcp.cca import CCA_REGISTRY, make_cca
+from repro.tcp.cca.bbr import Bbr
+from repro.tcp.cca.cubic import Cubic
+from repro.tcp.cca.newreno import NewReno
+from repro.tcp.cca.vegas import Vegas
+
+
+@pytest.mark.parametrize(
+    "name,cls",
+    [
+        ("newreno", NewReno),
+        ("reno", NewReno),
+        ("cubic", Cubic),
+        ("bbr", Bbr),
+        ("bbr1", Bbr),
+        ("vegas", Vegas),
+    ],
+)
+def test_make_cca_by_name(name, cls):
+    assert isinstance(make_cca(name), cls)
+
+
+def test_case_insensitive():
+    assert isinstance(make_cca("BBR"), Bbr)
+
+
+def test_unknown_name_lists_known():
+    with pytest.raises(ValueError) as exc:
+        make_cca("quic-magic")
+    assert "cubic" in str(exc.value)
+
+
+def test_instances_are_fresh():
+    a, b = make_cca("cubic"), make_cca("cubic")
+    assert a is not b
+
+
+def test_registry_names_match_classes():
+    for name in ("newreno", "cubic", "bbr", "vegas"):
+        assert CCA_REGISTRY[name]().name == name

@@ -1,0 +1,112 @@
+"""Tests for the Vegas CCA extension."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.topology import FlowSpec, build_dumbbell
+from repro.tcp.cca.vegas import Vegas
+from repro.tcp.rate_sample import RateSample
+from repro.units import mbps
+
+
+class FakeEstimator:
+    delivered = 0
+
+
+class FakeConn:
+    def __init__(self):
+        self.in_recovery = False
+        self.in_flight = 10
+        self.rate_estimator = FakeEstimator()
+
+
+def ack(n=1, rtt=None):
+    rs = RateSample()
+    rs.newly_acked = n
+    rs.rtt = rtt
+    return rs
+
+
+def feed_round(cca, conn, rtt):
+    """Deliver one cwnd's worth of ACKs at the given RTT sample."""
+    conn.rate_estimator.delivered += int(cca.cwnd) + 1
+    cca.on_ack(ack(1, rtt=rtt), conn)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Vegas(alpha=0, beta=4)
+    with pytest.raises(ValueError):
+        Vegas(alpha=5, beta=4)
+
+
+def test_base_rtt_tracks_minimum():
+    cca = Vegas()
+    conn = FakeConn()
+    cca.on_ack(ack(1, rtt=0.05), conn)
+    cca.on_ack(ack(1, rtt=0.03), conn)
+    cca.on_ack(ack(1, rtt=0.08), conn)
+    assert cca.base_rtt == pytest.approx(0.03)
+
+
+def test_steady_state_increases_when_queue_small():
+    cca = Vegas()
+    cca.ssthresh = 10.0
+    cca.cwnd = 10.0
+    conn = FakeConn()
+    before = cca.cwnd
+    cca.base_rtt = 0.05
+    feed_round(cca, conn, rtt=0.0505)  # diff ~ 0.1 packets < alpha
+    assert cca.cwnd == before + 1
+
+
+def test_steady_state_decreases_when_queue_large():
+    cca = Vegas()
+    cca.ssthresh = 10.0
+    cca.cwnd = 10.0
+    conn = FakeConn()
+    cca.base_rtt = 0.05
+    feed_round(cca, conn, rtt=0.10)  # diff = 5 packets > beta
+    assert cca.cwnd == 9.0
+
+
+def test_steady_state_holds_between_thresholds():
+    cca = Vegas(alpha=2, beta=4)
+    cca.ssthresh = 10.0
+    cca.cwnd = 10.0
+    conn = FakeConn()
+    cca.base_rtt = 0.05
+    feed_round(cca, conn, rtt=0.0665)  # diff ~ 2.5 in (alpha, beta)
+    assert cca.cwnd == 10.0
+
+
+def test_loss_reduces_window():
+    cca = Vegas()
+    cca.cwnd = 20.0
+    cca.on_loss_event(FakeConn())
+    assert cca.cwnd == pytest.approx(15.0)
+
+
+def test_rto_collapses():
+    cca = Vegas()
+    cca.cwnd = 20.0
+    cca.on_rto(FakeConn())
+    assert cca.cwnd == 1.0
+
+
+def test_vegas_keeps_queue_nearly_empty_end_to_end():
+    sim = Simulator()
+    d = build_dumbbell(
+        sim,
+        [FlowSpec(Vegas(), rtt=0.02)],
+        bottleneck_bw_bps=mbps(10),
+        buffer_bytes=200_000,
+    )
+    d.start_all()
+    sim.run(until=8.0)
+    sender = d.flows[0].sender
+    goodput = sender.snd_una * 1448 * 8 / 8.0
+    assert goodput > mbps(7)
+    assert d.queue.dropped_packets == 0
+    # Delay-based: the standing queue stays small.
+    assert d.queue.occupancy_bytes < 30_000

@@ -1,0 +1,114 @@
+"""Tests for result containers and their derived metrics."""
+
+import pytest
+
+from repro.core.results import ExperimentResult, FlowResult
+from repro.core.scenarios import FlowGroup, Scenario
+from repro.units import mbps
+
+
+def flow(flow_id=0, cca="newreno", goodput=1e6, **kw):
+    defaults = dict(
+        flow_id=flow_id,
+        cca=cca,
+        base_rtt=0.02,
+        measured_rtt=0.05,
+        goodput_bps=goodput,
+        delivered_packets=1000,
+        packets_sent=1010,
+        retransmits=10,
+        halvings=4,
+        rtos=1,
+        queue_drops=10,
+        queue_arrivals=990,
+    )
+    defaults.update(kw)
+    return FlowResult(**defaults)
+
+
+def result(flows):
+    sc = Scenario(
+        name="t",
+        bottleneck_bw_bps=mbps(10),
+        buffer_bytes=100_000,
+        groups=(FlowGroup("newreno", max(1, len(flows))),),
+    )
+    return ExperimentResult(
+        scenario=sc,
+        flows=flows,
+        measured_duration=10.0,
+        queue_drops=sum(f.queue_drops for f in flows),
+        queue_arrivals=sum(f.queue_arrivals for f in flows),
+    )
+
+
+class TestFlowResult:
+    def test_congestion_events(self):
+        assert flow().congestion_events == 5
+
+    def test_loss_rate(self):
+        f = flow()
+        assert f.loss_rate == pytest.approx(10 / 1000)
+
+    def test_loss_rate_no_traffic(self):
+        f = flow(queue_drops=0, queue_arrivals=0)
+        assert f.loss_rate == 0.0
+
+    def test_halving_rate(self):
+        assert flow().halving_rate == pytest.approx(5 / 1000)
+        assert flow(delivered_packets=0).halving_rate == 0.0
+
+    def test_observation_uses_measured_rtt(self):
+        obs = flow().observation()
+        assert obs.rtt_s == 0.05
+        assert obs.loss_rate == pytest.approx(0.01)
+        assert obs.halving_rate == pytest.approx(0.005)
+
+    def test_observation_falls_back_to_base_rtt(self):
+        obs = flow(measured_rtt=None).observation()
+        assert obs.rtt_s == 0.02
+
+
+class TestExperimentResult:
+    def test_aggregates(self):
+        r = result([flow(0, goodput=2e6), flow(1, goodput=6e6)])
+        assert r.aggregate_goodput_bps == 8e6
+        assert r.aggregate_loss_rate == pytest.approx(20 / 2000)
+        assert r.total_congestion_events == 10
+
+    def test_jfi_whole_and_per_group(self):
+        r = result(
+            [
+                flow(0, cca="bbr", goodput=9e6),
+                flow(1, cca="cubic", goodput=1e6),
+                flow(2, cca="cubic", goodput=1e6),
+            ]
+        )
+        assert r.jfi("cubic") == pytest.approx(1.0)
+        assert r.jfi() < 0.7
+        with pytest.raises(ValueError):
+            r.jfi("vegas")
+
+    def test_shares(self):
+        r = result([flow(0, cca="bbr", goodput=3e6), flow(1, cca="cubic", goodput=1e6)])
+        shares = r.shares()
+        assert shares["bbr"] == pytest.approx(0.75)
+        assert shares["cubic"] == pytest.approx(0.25)
+
+    def test_utilization(self):
+        r = result([flow(0, goodput=mbps(10) * (1448 / 1500))])
+        assert r.utilization == pytest.approx(1.0)
+
+    def test_flows_of(self):
+        r = result([flow(0, cca="bbr"), flow(1, cca="cubic")])
+        assert [f.flow_id for f in r.flows_of("bbr")] == [0]
+
+    def test_observations_length(self):
+        r = result([flow(0), flow(1)])
+        assert len(r.observations()) == 2
+
+    def test_summary_mentions_groups(self):
+        r = result([flow(0, cca="bbr"), flow(1, cca="cubic")])
+        text = r.summary()
+        assert "bbr" in text and "cubic" in text
+        assert "util" in text

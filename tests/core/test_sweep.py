@@ -1,0 +1,48 @@
+"""Tests for the sweep runner."""
+
+from repro.core.scenarios import FlowGroup, Scenario
+from repro.core.sweep import run_sweep
+from repro.units import mbps
+
+
+def scenarios(n):
+    return [
+        Scenario(
+            name=f"s{i}",
+            bottleneck_bw_bps=mbps(10),
+            buffer_bytes=100_000,
+            groups=(FlowGroup("newreno", 1, 0.02),),
+            duration=2.0,
+            warmup=0.5,
+            stagger_max=0.0,
+            seed=i,
+        )
+        for i in range(n)
+    ]
+
+
+def test_empty_sweep():
+    assert run_sweep([]) == []
+
+
+def test_inline_sweep_preserves_order():
+    scs = scenarios(3)
+    results = run_sweep(scs, parallel=1)
+    assert [r.scenario.name for r in results] == ["s0", "s1", "s2"]
+    assert all(r.aggregate_goodput_bps > 0 for r in results)
+
+
+def test_progress_callback():
+    seen = []
+    run_sweep(scenarios(2), parallel=1, progress=lambda r: seen.append(r.scenario.name))
+    assert seen == ["s0", "s1"]
+
+
+def test_parallel_pool_matches_inline():
+    scs = scenarios(2)
+    inline = run_sweep(scs, parallel=1)
+    pooled = run_sweep(scs, parallel=2)
+    assert [r.queue_drops for r in inline] == [r.queue_drops for r in pooled]
+    assert [
+        [f.goodput_bps for f in r.flows] for r in inline
+    ] == [[f.goodput_bps for f in r.flows] for r in pooled]

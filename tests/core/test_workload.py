@@ -1,0 +1,99 @@
+"""Tests for dynamic (arriving/departing) workloads."""
+
+import random
+
+import pytest
+
+from repro.core.scenarios import FlowGroup
+from repro.core.workload import (
+    DynamicWorkload,
+    poisson_arrivals,
+    run_dynamic_workload,
+)
+from repro.units import mbps
+
+
+class TestPoissonArrivals:
+    def test_rate_approximation(self):
+        rng = random.Random(1)
+        times = poisson_arrivals(50.0, 100.0, rng)
+        assert 4000 < len(times) < 6000
+        assert all(0 <= t < 100.0 for t in times)
+        assert times == sorted(times)
+
+    def test_validation(self):
+        rng = random.Random(1)
+        with pytest.raises(ValueError):
+            poisson_arrivals(0.0, 10.0, rng)
+        with pytest.raises(ValueError):
+            poisson_arrivals(1.0, 0.0, rng)
+
+
+def make_workload(**kw):
+    defaults = dict(
+        bottleneck_bw_bps=mbps(20),
+        buffer_bytes=100_000,
+        arrival_rate_per_s=3.0,
+        flow_size_packets=100,
+        rtt=0.02,
+        duration=15.0,
+        seed=4,
+    )
+    defaults.update(kw)
+    return DynamicWorkload(**defaults)
+
+
+class TestOfferedLoad:
+    def test_computation(self):
+        w = make_workload(arrival_rate_per_s=10.0, flow_size_packets=100)
+        # 10 flows/s * 100 pkts * 1500 B * 8 = 12 Mbps offered on 20 Mbps.
+        assert w.offered_load() == pytest.approx(0.6)
+
+
+class TestRunDynamic:
+    def test_underloaded_flows_complete(self):
+        result = run_dynamic_workload(make_workload())
+        assert result.flows, "arrivals expected"
+        # Offered load ~18%: nearly everything that arrived early enough
+        # should finish inside the run.
+        early = [f for f in result.flows if f.start_time < 10.0]
+        done = [f for f in early if f.completion_time is not None]
+        assert len(done) / len(early) > 0.8
+        for f in done:
+            assert f.fct is not None and f.fct > 0
+            assert f.completion_time >= f.start_time
+
+    def test_deterministic(self):
+        a = run_dynamic_workload(make_workload())
+        b = run_dynamic_workload(make_workload())
+        assert [f.completion_time for f in a.flows] == [
+            f.completion_time for f in b.flows
+        ]
+
+    def test_cca_mix_round_robin(self):
+        w = make_workload(
+            cca_mix=(FlowGroup("newreno", 1), FlowGroup("cubic", 1)),
+            duration=10.0,
+        )
+        result = run_dynamic_workload(w)
+        ccas = {f.cca for f in result.flows}
+        assert ccas == {"newreno", "cubic"}
+        by_cca = result.fcts_by_cca()
+        assert set(by_cca) <= {"newreno", "cubic"}
+
+    def test_unknown_cca_rejected(self):
+        w = make_workload(cca_mix=(FlowGroup("bogus", 1),))
+        with pytest.raises(ValueError):
+            run_dynamic_workload(w)
+
+    def test_short_flows_finish_faster_than_long(self):
+        result = run_dynamic_workload(make_workload(duration=20.0))
+        done = result.completed()
+        short = [f.fct for f in done if f.size_packets <= 20]
+        long = [f.fct for f in done if f.size_packets >= 300]
+        if short and long:
+            assert min(short) < max(long)
+
+    def test_completion_fraction_bounds(self):
+        result = run_dynamic_workload(make_workload(duration=8.0))
+        assert 0.0 <= result.completion_fraction() <= 1.0

@@ -1,0 +1,68 @@
+"""Tests for the in-path packet capture."""
+
+import pytest
+
+from repro.instrumentation.capture import PacketCapture
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.tcp.cca.newreno import NewReno
+from tests.conftest import make_pipe
+
+
+class Collector:
+    def __init__(self):
+        self.packets = []
+
+    def send(self, packet):
+        self.packets.append(packet)
+
+
+def test_records_and_forwards():
+    sim = Simulator()
+    sink = Collector()
+    cap = PacketCapture(sim, sink=sink)
+    cap.send(Packet.data(1, 5))
+    cap.send(Packet.ack(1, 6))
+    assert len(sink.packets) == 2
+    assert cap.forwarded == 2
+    assert cap.records[0].kind == "data" and cap.records[0].seq == 5
+    assert cap.records[1].kind == "ack" and cap.records[1].seq == 6
+
+
+def test_flow_filter():
+    sim = Simulator()
+    cap = PacketCapture(sim, sink=Collector(), flow_filter=2)
+    cap.send(Packet.data(1, 0))
+    cap.send(Packet.data(2, 0))
+    assert len(cap.records) == 1
+    assert cap.records[0].flow_id == 2
+    assert cap.forwarded == 2  # still forwards everything
+
+
+def test_max_records_truncation():
+    sim = Simulator()
+    cap = PacketCapture(sim, sink=Collector(), max_records=2)
+    for seq in range(5):
+        cap.send(Packet.data(0, seq))
+    assert len(cap.records) == 2
+    assert cap.truncated
+    assert cap.forwarded == 5
+
+
+def test_requires_sink():
+    cap = PacketCapture(Simulator())
+    with pytest.raises(RuntimeError):
+        cap.send(Packet.data(0, 0))
+
+
+def test_splice_into_live_connection(sim):
+    sender, _, _ = make_pipe(sim, NewReno(), total_packets=50)
+    cap = PacketCapture(sim)
+    cap.splice_before(sender)  # records everything the sender emits
+    sender.start()
+    sim.run(until=5.0)
+    assert sender.completed
+    assert len(cap.data_records()) == 50
+    seqs = [r.seq for r in cap.data_records()]
+    assert sorted(set(seqs)) == list(range(50))
+    assert cap.for_flow(0) == cap.records

@@ -1,0 +1,97 @@
+"""Tests for the bottleneck queue monitor."""
+
+import pytest
+
+from repro.instrumentation.queuemon import OccupancySampler, QueueMonitor
+from repro.sim.engine import Simulator
+from repro.sim.packet import Packet
+from repro.sim.queue import DropTailQueue
+
+
+def fill(queue, when, flow, n):
+    for _ in range(n):
+        queue.offer(when, Packet.data(flow, 0))
+
+
+def test_counts_and_attribution():
+    q = DropTailQueue(3000)  # 2 packets
+    mon = QueueMonitor(q)
+    fill(q, 1.0, flow=1, n=2)
+    fill(q, 1.0, flow=2, n=2)  # both dropped
+    assert mon.arrivals_total == 2
+    assert mon.drops_total == 2
+    assert mon.arrivals_by_flow[1] == 2
+    assert mon.drops_by_flow[2] == 2
+
+
+def test_loss_rates():
+    q = DropTailQueue(3000)
+    mon = QueueMonitor(q)
+    fill(q, 1.0, flow=1, n=2)
+    fill(q, 1.0, flow=2, n=2)
+    assert mon.loss_rate() == pytest.approx(0.5)
+    assert mon.flow_loss_rate(1) == 0.0
+    assert mon.flow_loss_rate(2) == 1.0
+    assert mon.flow_loss_rate(99) == 0.0
+
+
+def test_drop_times_recorded():
+    q = DropTailQueue(1500)
+    mon = QueueMonitor(q)
+    q.offer(1.0, Packet.data(0, 0))
+    q.offer(2.5, Packet.data(0, 1))
+    q.offer(3.5, Packet.data(0, 2))
+    assert mon.drop_times == [2.5, 3.5]
+
+
+def test_drop_times_disabled():
+    q = DropTailQueue(1500)
+    mon = QueueMonitor(q, record_drop_times=False)
+    q.offer(1.0, Packet.data(0, 0))
+    q.offer(2.0, Packet.data(0, 1))
+    assert mon.drop_times == []
+    assert mon.drops_total == 1
+
+
+def test_warmup_cut():
+    q = DropTailQueue(1500)
+    mon = QueueMonitor(q, start_time=5.0)
+    q.offer(1.0, Packet.data(0, 0))   # before cut: ignored
+    q.offer(2.0, Packet.data(0, 1))   # drop before cut: ignored
+    q.poll()
+    q.offer(6.0, Packet.data(0, 2))   # after cut
+    assert mon.arrivals_total == 1
+    assert mon.drops_total == 0
+
+
+def test_empty_loss_rate_zero():
+    q = DropTailQueue(1500)
+    mon = QueueMonitor(q)
+    assert mon.loss_rate() == 0.0
+
+
+def test_reset():
+    q = DropTailQueue(1500)
+    mon = QueueMonitor(q)
+    q.offer(1.0, Packet.data(0, 0))
+    mon.reset(at=10.0)
+    assert mon.arrivals_total == 0
+    assert mon.start_time == 10.0
+
+
+def test_occupancy_sampler():
+    sim = Simulator()
+    q = DropTailQueue(10_000)
+    sampler = OccupancySampler(sim, q, interval=0.1)
+    q.offer(0.0, Packet.data(0, 0))
+    sim.run(until=0.35)
+    assert sampler.samples == [1500, 1500, 1500]
+    assert sampler.mean_occupancy() == pytest.approx(1500)
+    sampler.stop()
+    sim.run(until=1.0)
+    assert len(sampler.samples) == 3
+
+
+def test_occupancy_sampler_validation():
+    with pytest.raises(ValueError):
+        OccupancySampler(Simulator(), DropTailQueue(1500), interval=0.0)

@@ -1,0 +1,58 @@
+"""Tests for the tcpprobe-equivalent cwnd probe."""
+
+from repro.instrumentation.tcpprobe import CwndProbe
+from repro.tcp.cca.newreno import NewReno
+from tests.conftest import make_pipe
+
+
+def test_counts_halvings_and_rtos_separately():
+    probe = CwndProbe()
+    probe.on_event(1.0, "loss_event", 10.0)
+    probe.on_event(2.0, "rto", 1.0)
+    probe.on_event(3.0, "recovery_exit", 5.0)
+    assert probe.halvings == 1
+    assert probe.rtos == 1
+    assert probe.recovery_exits == 1
+    assert probe.congestion_events == 2
+
+
+def test_warmup_cut_excludes_early_events():
+    probe = CwndProbe(start_time=5.0)
+    probe.on_event(1.0, "loss_event", 10.0)
+    probe.on_event(6.0, "loss_event", 5.0)
+    assert probe.halvings == 1
+
+
+def test_samples_recorded_only_when_enabled():
+    lean = CwndProbe()
+    lean.on_event(1.0, "ack", 10.0)
+    assert lean.samples == []
+    fat = CwndProbe(record_samples=True)
+    fat.on_event(1.0, "ack", 10.0)
+    assert fat.samples == [(1.0, "ack", 10.0)]
+
+
+def test_last_cwnd_tracks_even_during_warmup():
+    probe = CwndProbe(start_time=5.0)
+    probe.on_event(1.0, "ack", 12.5)
+    assert probe.last_cwnd == 12.5
+
+
+def test_reset():
+    probe = CwndProbe(record_samples=True)
+    probe.on_event(1.0, "loss_event", 10.0)
+    probe.reset()
+    assert probe.halvings == 0
+    assert probe.samples == []
+
+
+def test_attach_to_live_sender(sim):
+    sender, _, _ = make_pipe(
+        sim, NewReno(), total_packets=300, drop_indices={40}
+    )
+    probe = CwndProbe(sender)
+    sender.start()
+    sim.run(until=20.0)
+    assert sender.completed
+    assert probe.halvings == 1
+    assert probe.congestion_events == sender.stats.congestion_events

@@ -1,0 +1,76 @@
+"""Tests for the Mathis throughput model."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.mathis import MATHIS_C_DELAYED_SACK, derive_constant, mathis_throughput
+
+
+def test_known_value():
+    # MSS=1448B, RTT=100ms, p=0.01, C=1: T = 1448*8/(0.1*0.1) bps.
+    assert mathis_throughput(1448, 0.1, 0.01, c=1.0) == pytest.approx(1448 * 8 / 0.01)
+
+
+def test_default_constant_is_mathis_094():
+    assert MATHIS_C_DELAYED_SACK == 0.94
+
+
+def test_inverse_sqrt_p_scaling():
+    t1 = mathis_throughput(1448, 0.05, 0.01)
+    t2 = mathis_throughput(1448, 0.05, 0.04)
+    assert t1 / t2 == pytest.approx(2.0)
+
+
+def test_inverse_rtt_scaling():
+    t1 = mathis_throughput(1448, 0.02, 0.01)
+    t2 = mathis_throughput(1448, 0.04, 0.01)
+    assert t1 / t2 == pytest.approx(2.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        mathis_throughput(1448, 0.0, 0.01)
+    with pytest.raises(ValueError):
+        mathis_throughput(1448, 0.1, 0.0)
+    with pytest.raises(ValueError):
+        mathis_throughput(1448, 0.1, 1.5)
+
+
+class TestDeriveConstant:
+    def test_perfect_data_recovers_constant(self):
+        rtts = [0.02, 0.05, 0.1]
+        ps = [0.001, 0.004, 0.01]
+        ts = [mathis_throughput(1448, r, p, c=1.3) for r, p in zip(rtts, ps)]
+        assert derive_constant(ts, rtts, ps, 1448) == pytest.approx(1.3)
+
+    def test_zero_p_observations_skipped(self):
+        c = derive_constant(
+            [mathis_throughput(1448, 0.02, 0.01, 2.0), 5e6],
+            [0.02, 0.02],
+            [0.01, 0.0],
+            1448,
+        )
+        assert c == pytest.approx(2.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            derive_constant([], [], [], 1448)
+
+    def test_all_zero_p_raises(self):
+        with pytest.raises(ValueError):
+            derive_constant([1e6], [0.02], [0.0], 1448)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            derive_constant([1e6], [0.02, 0.03], [0.01], 1448)
+
+    @given(st.floats(0.1, 10.0))
+    @settings(max_examples=100, deadline=None)
+    def test_least_squares_is_exact_on_model_data(self, c):
+        rtts = [0.01 * (i + 1) for i in range(8)]
+        ps = [0.002 * (i + 1) for i in range(8)]
+        ts = [mathis_throughput(1448, r, p, c) for r, p in zip(rtts, ps)]
+        assert math.isclose(derive_constant(ts, rtts, ps, 1448), c, rel_tol=1e-9)

@@ -1,0 +1,52 @@
+"""Tests for the PFTK (Padhye) throughput model."""
+
+import pytest
+
+from repro.models.mathis import mathis_throughput
+from repro.models.padhye import padhye_throughput
+
+
+def test_approaches_mathis_at_low_loss():
+    """With negligible timeout probability the PFTK model reduces to the
+    Mathis square-root law with C = sqrt(3/(2b))."""
+    import math
+
+    p = 1e-6
+    b = 2
+    pftk = padhye_throughput(1448, 0.1, p, rto_s=0.2, b=b)
+    mathis = mathis_throughput(1448, 0.1, p, c=math.sqrt(3.0 / (2.0 * b)))
+    assert pftk == pytest.approx(mathis, rel=0.01)
+
+
+def test_timeouts_reduce_throughput_at_high_loss():
+    low = padhye_throughput(1448, 0.1, 0.001)
+    high = padhye_throughput(1448, 0.1, 0.1)
+    assert high < low / 5
+
+
+def test_window_cap():
+    uncapped = padhye_throughput(1448, 0.1, 1e-5)
+    capped = padhye_throughput(1448, 0.1, 1e-5, max_window_packets=10)
+    assert capped == pytest.approx(10 / 0.1 * 1448 * 8)
+    assert capped < uncapped
+
+
+def test_monotone_in_p():
+    ps = [0.0005, 0.001, 0.005, 0.01, 0.05, 0.2]
+    rates = [padhye_throughput(1448, 0.05, p) for p in ps]
+    assert rates == sorted(rates, reverse=True)
+
+
+def test_monotone_in_rtt():
+    assert padhye_throughput(1448, 0.02, 0.01) > padhye_throughput(1448, 0.2, 0.01)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        padhye_throughput(1448, 0.0, 0.01)
+    with pytest.raises(ValueError):
+        padhye_throughput(1448, 0.1, 0.0)
+    with pytest.raises(ValueError):
+        padhye_throughput(1448, 0.1, 0.01, b=0)
+    with pytest.raises(ValueError):
+        padhye_throughput(1448, 0.1, 0.01, max_window_packets=0)

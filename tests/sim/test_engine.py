@@ -1,0 +1,180 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator, event_pending, event_time
+
+
+def test_initial_state():
+    sim = Simulator()
+    assert sim.now == 0.0
+    assert sim.events_processed == 0
+    assert sim.pending_events == 0
+
+
+def test_schedule_and_run_single_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.5, fired.append, "hello")
+    sim.run()
+    assert fired == ["hello"]
+    assert sim.now == 1.5
+    assert sim.events_processed == 1
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(3.0, order.append, 3)
+    sim.schedule(1.0, order.append, 1)
+    sim.schedule(2.0, order.append, 2)
+    sim.run()
+    assert order == [1, 2, 3]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    order = []
+    for i in range(10):
+        sim.schedule(1.0, order.append, i)
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(2.5, fired.append, "x")
+    sim.run()
+    assert sim.now == 2.5 and fired == ["x"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_run_until_stops_clock_at_boundary():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(5.0, fired.append, 5)
+    sim.run(until=2.0)
+    assert fired == [1]
+    assert sim.now == 2.0  # clock advanced to the boundary
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_event_at_exactly_until_fires():
+    sim = Simulator()
+    fired = []
+    sim.schedule(2.0, fired.append, "edge")
+    sim.run(until=2.0)
+    assert fired == ["edge"]
+
+
+def test_cancellation():
+    sim = Simulator()
+    fired = []
+    keep = sim.schedule(1.0, fired.append, "keep")
+    drop = sim.schedule(1.0, fired.append, "drop")
+    sim.cancel(drop)
+    sim.run()
+    assert fired == ["keep"]
+    assert event_pending(keep) is False
+
+
+def test_double_cancel_is_noop():
+    sim = Simulator()
+    ev = sim.schedule(1.0, lambda: None)
+    sim.cancel(ev)
+    sim.cancel(ev)
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_event_helpers():
+    sim = Simulator()
+    ev = sim.schedule(4.0, lambda: None)
+    assert event_time(ev) == 4.0
+    assert event_pending(ev)
+    sim.cancel(ev)
+    assert not event_pending(ev)
+
+
+def test_events_scheduled_from_callbacks():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 5.0
+
+
+def test_max_events_safety_valve():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(0.1, forever)
+
+    sim.schedule(0.0, forever)
+    sim.run(max_events=100)
+    assert sim.events_processed == 100
+
+
+def test_step_executes_one_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, fired.append, 2)
+    assert sim.step() is True
+    assert fired == [1]
+    assert sim.step() is True
+    assert sim.step() is False
+    assert fired == [1, 2]
+
+
+def test_step_skips_cancelled():
+    sim = Simulator()
+    fired = []
+    ev = sim.schedule(1.0, fired.append, "no")
+    sim.schedule(2.0, fired.append, "yes")
+    sim.cancel(ev)
+    assert sim.step() is True
+    assert fired == ["yes"]
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def nested():
+        sim.run()
+
+    sim.schedule(1.0, nested)
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_clock_does_not_go_backwards():
+    sim = Simulator()
+    times = []
+    for delay in (5.0, 1.0, 3.0, 1.0, 4.0):
+        sim.schedule(delay, lambda: times.append(sim.now))
+    sim.run()
+    assert times == sorted(times)

@@ -1,0 +1,147 @@
+"""Unit tests for Link and DelayLink path elements."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.link import DelayLink, Link
+from repro.sim.packet import Packet
+from repro.sim.queue import DropTailQueue
+
+
+class Collector:
+    def __init__(self, sim):
+        self.sim = sim
+        self.received = []
+
+    def send(self, packet):
+        self.received.append((self.sim.now, packet))
+
+
+def test_delaylink_delays_by_constant():
+    sim = Simulator()
+    sink = Collector(sim)
+    link = DelayLink(sim, 0.25, sink=sink)
+    link.send(Packet.data(0, 1))
+    sim.run()
+    assert sink.received[0][0] == pytest.approx(0.25)
+    assert link.forwarded_packets == 1
+
+
+def test_delaylink_zero_delay_is_synchronous():
+    sim = Simulator()
+    sink = Collector(sim)
+    link = DelayLink(sim, 0.0, sink=sink)
+    link.send(Packet.data(0, 1))
+    assert sink.received  # delivered without running the loop
+
+
+def test_delaylink_requires_sink():
+    sim = Simulator()
+    link = DelayLink(sim, 0.1)
+    with pytest.raises(RuntimeError):
+        link.send(Packet.data(0, 1))
+
+
+def test_delaylink_rejects_negative_delay():
+    with pytest.raises(ValueError):
+        DelayLink(Simulator(), -1.0)
+
+
+def test_link_serialisation_delay():
+    # 1500 bytes at 1.2 Mbps -> 10 ms per packet.
+    sim = Simulator()
+    sink = Collector(sim)
+    link = Link(sim, rate_bps=1_200_000, delay=0.0, sink=sink)
+    link.send(Packet.data(0, 0, size=1500))
+    sim.run()
+    assert sink.received[0][0] == pytest.approx(0.010)
+
+
+def test_link_back_to_back_packets_serialise():
+    sim = Simulator()
+    sink = Collector(sim)
+    link = Link(sim, rate_bps=1_200_000, delay=0.0, sink=sink)
+    for seq in range(3):
+        link.send(Packet.data(0, seq, size=1500))
+    sim.run()
+    times = [t for t, _ in sink.received]
+    assert times == pytest.approx([0.010, 0.020, 0.030])
+
+
+def test_link_adds_propagation_delay():
+    sim = Simulator()
+    sink = Collector(sim)
+    link = Link(sim, rate_bps=1_200_000, delay=0.1, sink=sink)
+    link.send(Packet.data(0, 0, size=1500))
+    sim.run()
+    assert sink.received[0][0] == pytest.approx(0.110)
+
+
+def test_link_pipelines_propagation():
+    # Propagation overlaps with the next packet's serialisation.
+    sim = Simulator()
+    sink = Collector(sim)
+    link = Link(sim, rate_bps=1_200_000, delay=0.5, sink=sink)
+    for seq in range(2):
+        link.send(Packet.data(0, seq, size=1500))
+    sim.run()
+    times = [t for t, _ in sink.received]
+    assert times == pytest.approx([0.510, 0.520])
+
+
+def test_link_preserves_order():
+    sim = Simulator()
+    sink = Collector(sim)
+    link = Link(sim, rate_bps=10_000_000, delay=0.01, sink=sink)
+    for seq in range(20):
+        link.send(Packet.data(0, seq))
+    sim.run()
+    assert [p.seq for _, p in sink.received] == list(range(20))
+
+
+def test_link_drops_on_full_queue():
+    sim = Simulator()
+    sink = Collector(sim)
+    queue = DropTailQueue(3000)  # two packets
+    link = Link(sim, rate_bps=1_200_000, sink=sink, queue=queue)
+    for seq in range(5):
+        link.send(Packet.data(0, seq))
+    sim.run()
+    # First packet starts transmitting immediately (leaves the queue),
+    # so 1 in service + 2 queued = 3 delivered, 2 dropped.
+    assert len(sink.received) == 3
+    assert queue.dropped_packets == 2
+
+
+def test_link_counts_transmissions():
+    sim = Simulator()
+    sink = Collector(sim)
+    link = Link(sim, rate_bps=1_000_000, sink=sink)
+    for seq in range(4):
+        link.send(Packet.data(0, seq, size=1000))
+    sim.run()
+    assert link.transmitted_packets == 4
+    assert link.transmitted_bytes == 4000
+
+
+def test_link_resumes_after_idle():
+    sim = Simulator()
+    sink = Collector(sim)
+    link = Link(sim, rate_bps=1_200_000, sink=sink)
+    link.send(Packet.data(0, 0))
+    sim.run()
+    assert sim.now == pytest.approx(0.010)
+    # Link went idle; a later arrival must restart the transmitter.
+    sim.schedule(1.0, link.send, Packet.data(0, 1))
+    sim.run()
+    assert len(sink.received) == 2
+    # Arrival at 1.01 + 10 ms serialisation.
+    assert sink.received[1][0] == pytest.approx(1.020)
+
+
+def test_link_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        Link(sim, rate_bps=0)
+    with pytest.raises(ValueError):
+        Link(sim, rate_bps=1e6, delay=-0.1)

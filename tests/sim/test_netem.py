@@ -1,0 +1,74 @@
+"""Unit tests for the netem impairment element."""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.netem import NetemDelay
+from repro.sim.packet import Packet
+
+
+class Collector:
+    def __init__(self, sim):
+        self.sim = sim
+        self.times = []
+
+    def send(self, packet):
+        self.times.append(self.sim.now)
+
+
+def test_constant_delay():
+    sim = Simulator()
+    sink = Collector(sim)
+    netem = NetemDelay(sim, 0.05, sink=sink)
+    netem.send(Packet.data(0, 0))
+    sim.run()
+    assert sink.times == [pytest.approx(0.05)]
+
+
+def test_jitter_stays_within_bounds():
+    sim = Simulator()
+    sink = Collector(sim)
+    netem = NetemDelay(sim, 0.05, sink=sink, jitter=0.01, rng=random.Random(2))
+    for _ in range(200):
+        netem.send(Packet.data(0, 0))
+    sim.run()
+    assert all(0.04 - 1e-12 <= t <= 0.06 + 1e-12 for t in sink.times)
+    assert len(set(round(t, 9) for t in sink.times)) > 50  # actually varies
+
+
+def test_random_loss_rate_approximate():
+    sim = Simulator()
+    sink = Collector(sim)
+    netem = NetemDelay(sim, 0.01, sink=sink, loss_rate=0.3, rng=random.Random(3))
+    n = 2000
+    for _ in range(n):
+        netem.send(Packet.data(0, 0))
+    sim.run()
+    delivered = len(sink.times)
+    assert netem.dropped_packets == n - delivered
+    assert 0.25 < netem.dropped_packets / n < 0.35
+
+
+def test_zero_loss_by_default():
+    sim = Simulator()
+    sink = Collector(sim)
+    netem = NetemDelay(sim, 0.01, sink=sink)
+    for _ in range(100):
+        netem.send(Packet.data(0, 0))
+    sim.run()
+    assert netem.dropped_packets == 0
+    assert len(sink.times) == 100
+
+
+def test_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        NetemDelay(sim, -0.1)
+    with pytest.raises(ValueError):
+        NetemDelay(sim, 0.01, jitter=0.02)  # jitter > delay
+    with pytest.raises(ValueError):
+        NetemDelay(sim, 0.01, loss_rate=1.0)
+    with pytest.raises(RuntimeError):
+        NetemDelay(sim, 0.01).send(Packet.data(0, 0))

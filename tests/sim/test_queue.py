@@ -1,0 +1,110 @@
+"""Unit tests for queue disciplines."""
+
+import random
+
+import pytest
+
+from repro.sim.packet import Packet
+from repro.sim.queue import DropTailQueue, REDQueue
+
+
+def pkt(flow=0, size=1500):
+    return Packet.data(flow, 0, size)
+
+
+class TestDropTail:
+    def test_accepts_until_capacity(self):
+        q = DropTailQueue(4500)
+        assert q.offer(0.0, pkt()) and q.offer(0.0, pkt()) and q.offer(0.0, pkt())
+        assert q.occupancy_bytes == 4500
+        assert not q.offer(0.0, pkt())
+        assert q.dropped_packets == 1
+        assert q.enqueued_packets == 3
+
+    def test_fifo_order(self):
+        q = DropTailQueue(10_000)
+        packets = [Packet.data(0, seq) for seq in range(3)]
+        for p in packets:
+            q.offer(0.0, p)
+        assert [q.poll().seq for _ in range(3)] == [0, 1, 2]
+
+    def test_poll_empty_returns_none(self):
+        q = DropTailQueue(1000)
+        assert q.poll() is None
+
+    def test_occupancy_tracks_poll(self):
+        q = DropTailQueue(10_000)
+        q.offer(0.0, pkt(size=1000))
+        q.offer(0.0, pkt(size=500))
+        assert q.occupancy_bytes == 1500
+        q.poll()
+        assert q.occupancy_bytes == 500
+
+    def test_partial_fit_dropped(self):
+        # 1000 bytes free but a 1500-byte packet must be dropped whole.
+        q = DropTailQueue(2500)
+        assert q.offer(0.0, pkt(size=1500))
+        assert not q.offer(0.0, pkt(size=1500))
+        assert q.offer(0.0, pkt(size=1000))
+
+    def test_drop_listener_invoked_with_time_and_packet(self):
+        q = DropTailQueue(1500)
+        drops = []
+        q.drop_listener = lambda now, p: drops.append((now, p.flow_id))
+        q.offer(1.0, pkt(flow=1))
+        q.offer(2.0, pkt(flow=2))
+        assert drops == [(2.0, 2)]
+
+    def test_enqueue_listener(self):
+        q = DropTailQueue(10_000)
+        seen = []
+        q.enqueue_listener = lambda now, p: seen.append(p.flow_id)
+        q.offer(0.0, pkt(flow=7))
+        assert seen == [7]
+
+    def test_len_counts_packets(self):
+        q = DropTailQueue(10_000)
+        for _ in range(4):
+            q.offer(0.0, pkt())
+        assert len(q) == 4
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(0)
+
+
+class TestRed:
+    def test_below_min_threshold_never_drops(self):
+        q = REDQueue(100_000, min_thresh_bytes=50_000, max_thresh_bytes=80_000)
+        for _ in range(10):
+            assert q.offer(0.0, pkt())
+        assert q.dropped_packets == 0
+
+    def test_hard_limit_always_drops(self):
+        q = REDQueue(3000, min_thresh_bytes=1000, max_thresh_bytes=2000)
+        q.offer(0.0, pkt())
+        q.offer(0.0, pkt())
+        assert not q.offer(0.0, pkt(size=1500))  # would exceed capacity
+
+    def test_probabilistic_drops_between_thresholds(self):
+        q = REDQueue(
+            1_000_000,
+            min_thresh_bytes=10_000,
+            max_thresh_bytes=50_000,
+            max_p=0.5,
+            weight=1.0,  # avg tracks instantaneous occupancy
+            rng=random.Random(1),
+        )
+        dropped = 0
+        for _ in range(200):
+            if not q.offer(0.0, pkt()):
+                dropped += 1
+            else:
+                q.poll() if q.occupancy_bytes > 30_000 else None
+        assert dropped > 0, "RED should drop probabilistically above min threshold"
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            REDQueue(1000, min_thresh_bytes=800, max_thresh_bytes=700)
+        with pytest.raises(ValueError):
+            REDQueue(1000, max_p=0.0)

@@ -1,0 +1,92 @@
+"""Tests for the dumbbell builder."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.queue import REDQueue
+from repro.sim.topology import FlowSpec, build_dumbbell
+from repro.tcp.cca.newreno import NewReno
+from repro.units import mbps
+
+
+def test_build_wires_one_pair_per_flow(sim):
+    specs = [FlowSpec(NewReno()) for _ in range(3)]
+    d = build_dumbbell(sim, specs, bottleneck_bw_bps=mbps(10), buffer_bytes=100_000)
+    assert len(d.flows) == 3
+    ids = [f.flow_id for f in d.flows]
+    assert ids == [0, 1, 2]
+    for flow in d.flows:
+        assert flow.sender.path is d.bottleneck
+        assert flow.receiver.reverse_path is not None
+
+
+def test_requires_flows(sim):
+    with pytest.raises(ValueError):
+        build_dumbbell(sim, [], bottleneck_bw_bps=mbps(10), buffer_bytes=100_000)
+
+
+def test_rtt_below_fixed_propagation_rejected(sim):
+    specs = [FlowSpec(NewReno(), rtt=0.0001)]
+    with pytest.raises(ValueError):
+        build_dumbbell(sim, specs, bottleneck_bw_bps=mbps(10), buffer_bytes=100_000)
+
+
+def test_base_rtt_is_respected(sim):
+    """A single unconstrained flow should measure ~its configured RTT."""
+    spec = FlowSpec(NewReno(), rtt=0.080)
+    d = build_dumbbell(
+        sim, [spec], bottleneck_bw_bps=mbps(100), buffer_bytes=1_000_000
+    )
+    d.start_all()
+    sim.run(until=0.5)
+    sender = d.flows[0].sender
+    assert sender.rtt.min_rtt == pytest.approx(0.080, rel=0.1)
+
+
+def test_demux_routes_by_flow(sim):
+    specs = [FlowSpec(NewReno(), rtt=0.02) for _ in range(2)]
+    d = build_dumbbell(sim, specs, bottleneck_bw_bps=mbps(10), buffer_bytes=100_000)
+    d.start_all()
+    sim.run(until=1.0)
+    for flow in d.flows:
+        assert flow.receiver.received_packets > 0
+        assert flow.sender.snd_una > 0
+
+
+def test_custom_queue_is_used(sim):
+    queue = REDQueue(100_000)
+    d = build_dumbbell(
+        sim,
+        [FlowSpec(NewReno())],
+        bottleneck_bw_bps=mbps(10),
+        buffer_bytes=100_000,
+        queue=queue,
+    )
+    assert d.queue is queue
+
+
+def test_staggered_starts(sim):
+    specs = [
+        FlowSpec(NewReno(), start_time=0.0),
+        FlowSpec(NewReno(), start_time=0.3),
+    ]
+    d = build_dumbbell(sim, specs, bottleneck_bw_bps=mbps(10), buffer_bytes=100_000)
+    d.start_all()
+    sim.run(until=0.1)
+    assert d.flows[0].sender.stats.packets_sent > 0
+    assert d.flows[1].sender.stats.packets_sent == 0
+    sim.run(until=0.6)
+    assert d.flows[1].sender.stats.packets_sent > 0
+
+
+def test_single_flow_saturates_link(sim):
+    d = build_dumbbell(
+        sim,
+        [FlowSpec(NewReno(), rtt=0.02)],
+        bottleneck_bw_bps=mbps(10),
+        buffer_bytes=50_000,
+    )
+    d.start_all()
+    sim.run(until=5.0)
+    goodput = d.flows[0].sender.snd_una * 1448 * 8 / 5.0
+    assert goodput > mbps(8), f"goodput only {goodput / 1e6:.1f} Mbps"

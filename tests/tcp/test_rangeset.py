@@ -1,0 +1,222 @@
+"""Unit and property-based tests for RangeSet."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tcp.rangeset import RangeSet
+
+ranges_strategy = st.lists(
+    st.tuples(st.integers(0, 200), st.integers(1, 20)).map(
+        lambda t: (t[0], t[0] + t[1])
+    ),
+    max_size=20,
+)
+
+
+def as_set(rs: RangeSet) -> set:
+    out = set()
+    for start, end in rs.ranges():
+        out.update(range(start, end))
+    return out
+
+
+class TestBasics:
+    def test_empty(self):
+        rs = RangeSet()
+        assert not rs
+        assert len(rs) == 0
+        assert rs.ranges() == []
+        assert 5 not in rs
+
+    def test_add_single_range(self):
+        rs = RangeSet()
+        rs.add(3, 7)
+        assert rs.ranges() == [(3, 7)]
+        assert len(rs) == 4
+        assert 3 in rs and 6 in rs and 7 not in rs and 2 not in rs
+
+    def test_add_point(self):
+        rs = RangeSet()
+        rs.add_point(5)
+        assert rs.ranges() == [(5, 6)]
+
+    def test_merge_overlapping(self):
+        rs = RangeSet([(1, 5), (3, 9)])
+        assert rs.ranges() == [(1, 9)]
+
+    def test_merge_adjacent(self):
+        rs = RangeSet([(1, 5), (5, 8)])
+        assert rs.ranges() == [(1, 8)]
+
+    def test_disjoint_kept_separate(self):
+        rs = RangeSet([(1, 3), (5, 8)])
+        assert rs.ranges() == [(1, 3), (5, 8)]
+        assert rs.range_count() == 2
+
+    def test_bridge_merges_three(self):
+        rs = RangeSet([(1, 3), (7, 9)])
+        rs.add(3, 7)
+        assert rs.ranges() == [(1, 9)]
+
+    def test_empty_range_ignored(self):
+        rs = RangeSet()
+        rs.add(4, 4)
+        assert not rs
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            RangeSet().add(5, 3)
+
+    def test_equality(self):
+        assert RangeSet([(1, 3)]) == RangeSet([(1, 2), (2, 3)])
+        assert RangeSet([(1, 3)]) != RangeSet([(1, 4)])
+
+
+class TestQueries:
+    def test_covers(self):
+        rs = RangeSet([(2, 8)])
+        assert rs.covers(2, 8)
+        assert rs.covers(3, 5)
+        assert not rs.covers(1, 3)
+        assert not rs.covers(7, 9)
+        assert rs.covers(5, 5)  # empty range trivially covered
+
+    def test_covers_does_not_span_gaps(self):
+        rs = RangeSet([(1, 3), (4, 6)])
+        assert not rs.covers(1, 6)
+
+    def test_min_max(self):
+        rs = RangeSet([(4, 6), (10, 12)])
+        assert rs.min_value() == 4
+        assert rs.max_value() == 11
+
+    def test_min_max_empty_raise(self):
+        with pytest.raises(ValueError):
+            RangeSet().max_value()
+        with pytest.raises(ValueError):
+            RangeSet().min_value()
+
+    def test_contiguous_end_from(self):
+        rs = RangeSet([(2, 5), (7, 9)])
+        assert rs.contiguous_end_from(2) == 5
+        assert rs.contiguous_end_from(3) == 5
+        assert rs.contiguous_end_from(5) == 5  # not covered
+        assert rs.contiguous_end_from(7) == 9
+
+    def test_count_above(self):
+        rs = RangeSet([(2, 5), (8, 10)])  # {2,3,4,8,9}
+        assert rs.count_above(0) == 5
+        assert rs.count_above(2) == 4
+        assert rs.count_above(4) == 2
+        assert rs.count_above(9) == 0
+
+    def test_count_below(self):
+        rs = RangeSet([(2, 5), (8, 10)])
+        assert rs.count_below(2) == 0
+        assert rs.count_below(5) == 3
+        assert rs.count_below(9) == 4
+        assert rs.count_below(100) == 5
+
+    def test_nth_from_top(self):
+        rs = RangeSet([(2, 5), (8, 10)])  # {2,3,4,8,9}
+        assert rs.nth_from_top(1) == 9
+        assert rs.nth_from_top(2) == 8
+        assert rs.nth_from_top(3) == 4
+        assert rs.nth_from_top(5) == 2
+        assert rs.nth_from_top(6) is None
+        with pytest.raises(ValueError):
+            rs.nth_from_top(0)
+
+    def test_holes_between(self):
+        rs = RangeSet([(2, 4), (6, 8)])
+        assert rs.holes_between(0, 10) == [(0, 2), (4, 6), (8, 10)]
+        assert rs.holes_between(2, 8) == [(4, 6)]
+        assert rs.holes_between(2, 4) == []
+        assert rs.holes_between(5, 5) == []
+
+    def test_holes_between_empty_set(self):
+        assert RangeSet().holes_between(3, 6) == [(3, 6)]
+
+
+class TestRemoveBelow:
+    def test_removes_whole_ranges(self):
+        rs = RangeSet([(1, 3), (5, 7)])
+        rs.remove_below(4)
+        assert rs.ranges() == [(5, 7)]
+
+    def test_truncates_straddling_range(self):
+        rs = RangeSet([(1, 10)])
+        rs.remove_below(4)
+        assert rs.ranges() == [(4, 10)]
+
+    def test_noop_below_min(self):
+        rs = RangeSet([(5, 7)])
+        rs.remove_below(2)
+        assert rs.ranges() == [(5, 7)]
+
+
+class TestProperties:
+    @given(ranges_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_matches_python_set_model(self, ranges):
+        rs = RangeSet()
+        model = set()
+        for start, end in ranges:
+            rs.add(start, end)
+            model.update(range(start, end))
+        assert as_set(rs) == model
+        assert len(rs) == len(model)
+
+    @given(ranges_strategy, st.integers(0, 250))
+    @settings(max_examples=200, deadline=None)
+    def test_membership_matches_model(self, ranges, probe):
+        rs = RangeSet(ranges)
+        model = set()
+        for start, end in ranges:
+            model.update(range(start, end))
+        assert (probe in rs) == (probe in model)
+
+    @given(ranges_strategy)
+    @settings(max_examples=200, deadline=None)
+    def test_ranges_are_sorted_disjoint_nonadjacent(self, ranges):
+        rs = RangeSet(ranges)
+        out = rs.ranges()
+        for (s1, e1), (s2, e2) in zip(out, out[1:]):
+            assert e1 < s2, "ranges must stay disjoint and non-adjacent"
+        for s, e in out:
+            assert s < e
+
+    @given(ranges_strategy, st.integers(0, 250))
+    @settings(max_examples=100, deadline=None)
+    def test_count_above_matches_model(self, ranges, value):
+        rs = RangeSet(ranges)
+        model = as_set(rs)
+        assert rs.count_above(value) == sum(1 for v in model if v > value)
+
+    @given(ranges_strategy, st.integers(0, 250))
+    @settings(max_examples=100, deadline=None)
+    def test_remove_below_matches_model(self, ranges, cutoff):
+        rs = RangeSet(ranges)
+        model = as_set(rs)
+        rs.remove_below(cutoff)
+        assert as_set(rs) == {v for v in model if v >= cutoff}
+
+    @given(ranges_strategy, st.integers(1, 10))
+    @settings(max_examples=100, deadline=None)
+    def test_nth_from_top_matches_model(self, ranges, n):
+        rs = RangeSet(ranges)
+        model = sorted(as_set(rs), reverse=True)
+        expected = model[n - 1] if len(model) >= n else None
+        assert rs.nth_from_top(n) == expected
+
+    @given(ranges_strategy, st.integers(0, 250), st.integers(0, 250))
+    @settings(max_examples=100, deadline=None)
+    def test_holes_complement_covered(self, ranges, a, b):
+        lo, hi = min(a, b), max(a, b)
+        rs = RangeSet(ranges)
+        model = as_set(rs)
+        holes = set()
+        for s, e in rs.holes_between(lo, hi):
+            holes.update(range(s, e))
+        assert holes == {v for v in range(lo, hi) if v not in model}

@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_models_command(capsys):
+    code, out = run_cli(capsys, "models", "--rtt", "0.02", "--p", "0.001")
+    assert code == 0
+    assert "mathis" in out and "cubic" in out and "Mbps" in out
+
+
+def test_models_json(capsys):
+    code, out = run_cli(capsys, "models", "--json")
+    assert code == 0
+    payload = json.loads(out[out.index("{"):])
+    assert "cubic" in payload
+
+
+def test_run_edge_small(capsys):
+    code, out = run_cli(
+        capsys,
+        "run", "--setting", "edge", "--flows", "2", "--duration", "3",
+        "--warmup", "1", "--mathis",
+    )
+    assert code == 0
+    assert "util" in out
+    assert "mathis[" in out
+
+
+def test_run_core_scaled_json(capsys):
+    code, out = run_cli(
+        capsys,
+        "run", "--setting", "core", "--flows", "1000", "--scale", "500",
+        "--duration", "3", "--warmup", "1", "--json",
+    )
+    assert code == 0
+    payload = json.loads(out[out.index("{"):])
+    assert payload["scenario"]["groups"][0]["count"] == 2
+    assert len(payload["flows"]) == 2
+
+
+def test_compete_command(capsys):
+    code, out = run_cli(
+        capsys,
+        "compete", "--setting", "edge", "--flows", "4",
+        "--ccas", "cubic", "newreno", "--duration", "3", "--warmup", "1",
+    )
+    assert code == 0
+    assert "cubic" in out and "newreno" in out
+
+
+def test_compete_needs_two_ccas(capsys):
+    code = main(["compete", "--ccas", "bbr", "--duration", "2", "--warmup", "1"])
+    assert code == 2
+
+
+def test_compete_needs_enough_flows():
+    code = main(
+        ["compete", "--setting", "edge", "--flows", "1",
+         "--ccas", "bbr", "cubic", "--duration", "2", "--warmup", "1"]
+    )
+    assert code == 2
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,84 @@
+"""Tests for result/time-series export."""
+
+import io
+import json
+
+from repro import trace
+from repro.core.experiment import run_experiment
+from repro.core.scenarios import FlowGroup, Scenario
+from repro.instrumentation.tcpprobe import CwndProbe
+from repro.units import mbps
+import pytest
+
+
+@pytest.fixture(scope="module")
+def result():
+    sc = Scenario(
+        name="trace-test",
+        bottleneck_bw_bps=mbps(10),
+        buffer_bytes=50_000,
+        groups=(FlowGroup("newreno", 2, 0.02),),
+        duration=5.0,
+        warmup=1.0,
+        stagger_max=0.5,
+        seed=3,
+    )
+    return run_experiment(sc)
+
+
+def test_flow_csv_roundtrip(result):
+    buf = io.StringIO()
+    trace.write_flow_csv(result, buf)
+    buf.seek(0)
+    rows = list(trace.read_flow_csv(buf))
+    assert len(rows) == 2
+    assert rows[0]["cca"] == "newreno"
+    assert float(rows[0]["goodput_bps"]) > 0
+
+
+def test_flow_csv_to_path(result, tmp_path):
+    path = tmp_path / "flows.csv"
+    trace.write_flow_csv(result, str(path))
+    rows = list(trace.read_flow_csv(str(path)))
+    assert len(rows) == 2
+
+
+def test_drops_csv(result):
+    buf = io.StringIO()
+    trace.write_drops_csv(result, buf)
+    lines = buf.getvalue().strip().splitlines()
+    assert lines[0] == "drop_time_s"
+    assert len(lines) == 1 + len(result.drop_times)
+
+
+def test_cwnd_csv():
+    probe = CwndProbe(record_samples=True)
+    probe.on_event(1.0, "ack", 12.0)
+    probe.on_event(2.0, "loss_event", 6.0)
+    buf = io.StringIO()
+    trace.write_cwnd_csv(probe, buf)
+    lines = buf.getvalue().strip().splitlines()
+    assert lines[0] == "time_s,event,cwnd_packets"
+    assert len(lines) == 3
+
+
+def test_result_json(result):
+    buf = io.StringIO()
+    trace.write_result_json(result, buf)
+    payload = json.loads(buf.getvalue())
+    assert payload["scenario"]["name"] == "trace-test"
+    assert len(payload["flows"]) == 2
+    assert "jfi" in payload and 0 < payload["jfi"] <= 1
+    assert "drop_times" not in payload
+
+
+def test_result_json_with_drop_times(result):
+    payload = trace.result_to_dict(result, include_drop_times=True)
+    assert payload["drop_times"] == list(result.drop_times)
+
+
+def test_json_flow_fields_consistent(result):
+    payload = trace.result_to_dict(result)
+    flow = payload["flows"][0]
+    assert flow["loss_rate"] == result.flows[0].loss_rate
+    assert flow["halving_rate"] == result.flows[0].halving_rate
