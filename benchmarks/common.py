@@ -7,6 +7,13 @@ underlying experiments are expensive (packet-level simulation), so:
   scenario definition — re-running a bench re-prints its table from
   cache (delete the directory or set ``REPRO_BENCH_FRESH=1`` to force
   re-simulation);
+
+  *Cache tracking policy*: the seed pickles shipped with the repo stay
+  committed (they make every figure reproducible without hours of
+  simulation), but the directory is listed in ``.gitignore`` so entries
+  *you* generate — new scenarios, bumped ``CACHE_VERSION`` — never
+  churn in diffs. To publish refreshed seeds after a physics change,
+  ``git add -f benchmarks/_cache/<hash>.pkl`` explicitly;
 - ``REPRO_BENCH_PROFILE`` selects the fidelity/runtime trade-off:
 
   * ``smoke``  — minutes-scale sanity profile (tiny flow counts, short

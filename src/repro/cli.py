@@ -17,12 +17,14 @@ import argparse
 import dataclasses
 import json
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from .analysis.mathis_fit import fit_mathis
 from .core.experiment import run_experiment
 from .core.results import ExperimentResult
 from .core.scenarios import FlowGroup, Scenario, core_scale, edge_scale
+from .lint import ALL_CODES, RULE_SUMMARIES
+from .lint.runner import main as lint_main
 from .models.cubic_model import cubic_throughput
 from .models.mathis import mathis_throughput
 from .models.padhye import padhye_throughput
@@ -50,7 +52,7 @@ def _base_scenario(args: argparse.Namespace) -> Scenario:
     )
 
 
-def _result_json(result: ExperimentResult) -> dict:
+def _result_json(result: ExperimentResult) -> Dict[str, Any]:
     return {
         "scenario": dataclasses.asdict(result.scenario),
         "measured_duration": result.measured_duration,
@@ -130,6 +132,14 @@ def _cmd_models(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for code in ALL_CODES:
+            print(f"{code}  {RULE_SUMMARIES[code]}")
+        return 0
+    return lint_main(args.paths, select=args.select or ())
+
+
 def _add_experiment_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--setting", choices=("edge", "core"), default="core")
     p.add_argument("--flows", type=int, default=1000,
@@ -169,6 +179,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_models.add_argument("--p", type=float, default=0.001)
     p_models.add_argument("--json", action="store_true")
     p_models.set_defaults(fn=_cmd_models)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the simulator-aware static analysis pass",
+        description="AST lint rules for simulation code (RPR001..RPR006); "
+        "exits non-zero when any unsuppressed finding remains.",
+    )
+    p_lint.add_argument("paths", nargs="*", default=["src", "benchmarks"],
+                        help="files or directories to lint (default: src benchmarks)")
+    p_lint.add_argument("--select", nargs="+", metavar="RPRxxx",
+                        help="only report these rule codes")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print every rule code and exit")
+    p_lint.set_defaults(fn=_cmd_lint)
 
     return parser
 

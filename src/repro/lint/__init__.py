@@ -1,0 +1,38 @@
+"""Simulator-aware correctness tooling.
+
+Two halves, one goal — make measurement-corrupting bugs impossible to
+land silently:
+
+- **Static pass** (:mod:`repro.lint.rules`, :mod:`repro.lint.runner`) —
+  an AST linter with domain rules (``RPR001``..``RPR006``) over
+  simulation code: wall-clock reads, unseeded randomness, float
+  equality on simulated time, hash-order-dependent scheduling, mutable
+  defaults, and ``schedule()`` callback arity. Run it as
+  ``repro lint src benchmarks``.
+- **Runtime sanitizer** (:mod:`repro.lint.sanitizer`) — opt-in
+  invariant checking (``REPRO_SANITIZE=1`` or
+  ``Simulator(sanitize=True)``) asserting clock monotonicity, byte
+  conservation through queues, ``cwnd >= 1`` MSS, and scoreboard
+  RangeSet consistency, failing fast with flow and simulated time.
+
+See README "Static analysis & sanitizer" and DESIGN.md for why these
+invariants protect the paper's findings F1-F8.
+"""
+
+from __future__ import annotations
+
+from .rules import ALL_CODES, RULE_SUMMARIES, Finding
+from .runner import iter_python_files, lint_paths, lint_source
+from .sanitizer import SanitizerError, SimSanitizer, sanitize_enabled_from_env
+
+__all__ = [
+    "ALL_CODES",
+    "RULE_SUMMARIES",
+    "Finding",
+    "lint_paths",
+    "lint_source",
+    "iter_python_files",
+    "SimSanitizer",
+    "SanitizerError",
+    "sanitize_enabled_from_env",
+]

@@ -1,0 +1,186 @@
+"""Lint driver: file discovery, suppression handling, reporting.
+
+Suppressions
+------------
+A finding is suppressed by an inline comment on the flagged line::
+
+    wall_start = time.perf_counter()  # repro-lint: disable=RPR001 -- wall profiling
+
+or by a comment-only line directly above it (for lines that are already
+long). Multiple codes are comma-separated, and ``disable=all`` silences
+every rule for that line. Everything after the code list is free text —
+use it to justify *why* the violation is intended; the linter does not
+parse it but reviewers should expect it.
+
+Suppressions that never match a finding are themselves reported as
+``unused suppression`` findings (code ``RPR000``) so stale disables
+cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import os
+import re
+import sys
+import tokenize
+from typing import IO, Iterable, List, Optional, Sequence, Set
+
+from .rules import ALL_CODES, Finding, check_module
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=((?:RPR\d{3}|all)(?:\s*,\s*(?:RPR\d{3}|all))*)"
+)
+
+#: Pseudo-code reported for a suppression comment that silenced nothing.
+UNUSED_SUPPRESSION = "RPR000"
+
+
+class _Directive:
+    """One ``# repro-lint: disable=...`` comment and the lines it covers."""
+
+    __slots__ = ("line", "codes", "covered", "used")
+
+    def __init__(self, line: int, codes: Set[str], covered: Set[int]) -> None:
+        self.line = line
+        self.codes = codes
+        self.covered = covered
+        self.used = False
+
+
+def _parse_suppressions(source: str) -> List[_Directive]:
+    """Extract suppression directives from source comments.
+
+    Real COMMENT tokens only (a directive quoted inside a string or
+    docstring is inert). An inline directive covers its own line; a
+    comment-only directive line covers itself and the next line (for
+    statements too long to carry the comment).
+    """
+    directives: List[_Directive] = []
+    lines = source.splitlines()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return directives  # caller already surfaced the syntax problem
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
+        if match is None:
+            continue
+        lineno = token.start[0]
+        codes = {c.strip() for c in match.group(1).split(",")}
+        if "all" in codes:
+            codes = set(ALL_CODES)
+        covered = {lineno}
+        line_text = lines[lineno - 1] if lineno - 1 < len(lines) else ""
+        if line_text.lstrip().startswith("#"):
+            covered.add(lineno + 1)
+        directives.append(_Directive(lineno, codes, covered))
+    return directives
+
+
+def lint_source(path: str, source: str) -> List[Finding]:
+    """Lint one module's source text; returns unsuppressed findings."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                code="RPR999",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    directives = _parse_suppressions(source)
+    kept: List[Finding] = []
+    for finding in check_module(path, tree):
+        suppressed = False
+        for directive in directives:
+            if finding.line in directive.covered and finding.code in directive.codes:
+                directive.used = True
+                suppressed = True
+        if not suppressed:
+            kept.append(finding)
+    for directive in directives:
+        if not directive.used:
+            kept.append(
+                Finding(
+                    path=path,
+                    line=directive.line,
+                    col=0,
+                    code=UNUSED_SUPPRESSION,
+                    message="unused suppression: no finding matched "
+                    f"disable={','.join(sorted(directive.codes))}",
+                )
+            )
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return kept
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    """Expand files/directories into a sorted stream of ``.py`` paths."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(
+                d for d in dirnames
+                if d not in ("__pycache__", ".git") and not d.endswith(".egg-info")
+            )
+            for name in sorted(filenames):
+                if name.endswith(".py"):
+                    yield os.path.join(dirpath, name)
+
+
+def lint_paths(paths: Sequence[str]) -> List[Finding]:
+    """Lint every Python file under ``paths``."""
+    findings: List[Finding] = []
+    for filename in iter_python_files(paths):
+        with open(filename, "r", encoding="utf-8") as fh:
+            source = fh.read()
+        findings.extend(lint_source(filename, source))
+    return findings
+
+
+#: Codes accepted by ``--select`` beyond the real rules.
+_PSEUDO_CODES = (UNUSED_SUPPRESSION, "RPR999")
+
+
+def main(paths: Sequence[str], select: Sequence[str] = (), out: Optional[IO[str]] = None) -> int:
+    """CLI entry: print findings, return a shell exit status.
+
+    Usage errors (unknown ``--select`` code, missing path) exit 2 rather
+    than reporting a clean tree: a CI gate pointed at a renamed
+    directory must fail loudly, not pass vacuously.
+    """
+    if out is None:
+        out = sys.stdout  # bound at call time so stream redirection works
+    unknown = [c for c in select if c not in ALL_CODES and c not in _PSEUDO_CODES]
+    if unknown:
+        print(f"repro-lint: error: unknown rule code(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return 2
+    missing = [p for p in paths if not os.path.exists(p)]
+    if missing:
+        print(f"repro-lint: error: no such file or directory: {', '.join(missing)}",
+              file=sys.stderr)
+        return 2
+    findings = lint_paths(paths)
+    if select:
+        wanted = set(select)
+        findings = [f for f in findings if f.code in wanted]
+    for finding in findings:
+        print(finding.render(), file=out)
+    count = len(findings)
+    files = len(set(iter_python_files(paths)))
+    status = "clean" if count == 0 else f"{count} finding(s)"
+    print(f"repro-lint: {files} file(s) checked, {status}", file=out)
+    return 1 if count else 0
+
+
+__all__ = ["Finding", "lint_source", "lint_paths", "iter_python_files", "main"]

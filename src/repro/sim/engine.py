@@ -22,6 +22,8 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional
 
+from ..lint.sanitizer import SimSanitizer, maybe_sanitizer
+
 #: A scheduled event: ``[time, seq, fn, args]``; ``fn is None`` once
 #: cancelled or executed. Treat as opaque outside this module except for
 #: the documented helpers below.
@@ -58,14 +60,26 @@ class Simulator:
     >>> sim.run()
     >>> sim.now, fired
     (1.5, ['hello'])
+
+    Parameters
+    ----------
+    sanitize:
+        Enable the runtime simulation sanitizer
+        (:class:`repro.lint.sanitizer.SimSanitizer`): invariant checks
+        on the clock, queues, links and TCP scoreboards, failing fast
+        on violation. ``None`` (the default) defers to the
+        ``REPRO_SANITIZE`` environment variable.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sanitize: Optional[bool] = None) -> None:
         self.now: float = 0.0
         self._heap: List[Event] = []
         self._seq = 0
         self._running = False
         self._events_processed = 0
+        #: Active invariant checker, or ``None`` when sanitizing is off.
+        #: Components wire themselves to it at construction time.
+        self.sanitizer: Optional[SimSanitizer] = maybe_sanitizer(self, sanitize)
 
     @property
     def events_processed(self) -> int:
@@ -83,6 +97,8 @@ class Simulator:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
         event: Event = [self.now + delay, self._seq, fn, args]
+        if self.sanitizer is not None:
+            self.sanitizer.on_schedule(event[_TIME])
         heapq.heappush(self._heap, event)
         return event
 
@@ -94,6 +110,8 @@ class Simulator:
             )
         self._seq += 1
         event: Event = [time, self._seq, fn, args]
+        if self.sanitizer is not None:
+            self.sanitizer.on_schedule(time)
         heapq.heappush(self._heap, event)
         return event
 
@@ -121,6 +139,7 @@ class Simulator:
         pop = heapq.heappop
         processed = self._events_processed
         budget = None if max_events is None else max_events - processed
+        sanitizer = self.sanitizer
         try:
             while heap:
                 event = heap[0]
@@ -132,6 +151,8 @@ class Simulator:
                 if until is not None and time > until:
                     break
                 pop(heap)
+                if sanitizer is not None:
+                    sanitizer.on_execute(time)
                 self.now = time
                 args = event[_ARGS]
                 event[_FN] = None
@@ -159,6 +180,8 @@ class Simulator:
             fn = event[_FN]
             if fn is None:
                 continue
+            if self.sanitizer is not None:
+                self.sanitizer.on_execute(event[_TIME])
             self.now = event[_TIME]
             args = event[_ARGS]
             event[_FN] = None

@@ -49,7 +49,9 @@ class DelayLink:
         if self.sink is None:
             raise RuntimeError("DelayLink has no sink attached")
         self.forwarded_packets += 1
-        if self.delay == 0.0:
+        # <= rather than ==: the constructor guarantees delay >= 0, and an
+        # ordering guard keeps the fast path safe against float noise.
+        if self.delay <= 0.0:
             self.sink.send(packet)
         else:
             self.sim.schedule(self.delay, self.sink.send, packet)
@@ -86,6 +88,8 @@ class Link:
         self.busy = False
         self.transmitted_packets = 0
         self.transmitted_bytes = 0
+        if sim.sanitizer is not None:
+            sim.sanitizer.watch_queue(self.queue)
 
     def send(self, packet: Packet) -> None:
         """Offer a packet to the link (entry point for upstream elements)."""
@@ -105,9 +109,12 @@ class Link:
     def _finish(self, packet: Packet) -> None:
         self.transmitted_packets += 1
         self.transmitted_bytes += packet.size
+        if self.sim.sanitizer is not None:
+            self.sim.sanitizer.on_link_finish(self, packet)
         if self.sink is None:
             raise RuntimeError("Link has no sink attached")
-        if self.delay == 0.0:
+        # <= rather than ==: see DelayLink.send.
+        if self.delay <= 0.0:
             self.sink.send(packet)
         else:
             self.sim.schedule(self.delay, self.sink.send, packet)

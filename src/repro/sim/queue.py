@@ -14,9 +14,12 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..lint.sanitizer import SimSanitizer
 
 #: Callback invoked as ``drop_listener(now, packet)`` on every drop.
 DropListener = Callable[[float, Packet], None]
@@ -35,6 +38,8 @@ class Queue:
         self._items: deque[Packet] = deque()
         self.drop_listener: Optional[DropListener] = None
         self.enqueue_listener: Optional[DropListener] = None
+        #: Byte-conservation auditor; set by SimSanitizer.watch_queue().
+        self.sanitizer: Optional["SimSanitizer"] = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -49,10 +54,14 @@ class Queue:
             self._items.append(packet)
             self.occupancy_bytes += packet.size
             self.enqueued_packets += 1
+            if self.sanitizer is not None:
+                self.sanitizer.on_enqueue(self, packet)
             if self.enqueue_listener is not None:
                 self.enqueue_listener(now, packet)
             return True
         self.dropped_packets += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_reject(self, packet)
         if self.drop_listener is not None:
             self.drop_listener(now, packet)
         return False
@@ -67,6 +76,8 @@ class Queue:
             return None
         packet = self._items.popleft()
         self.occupancy_bytes -= packet.size
+        if self.sanitizer is not None:
+            self.sanitizer.on_dequeue(self, packet)
         return packet
 
     def _admit(self, now: float, packet: Packet) -> bool:
@@ -167,8 +178,10 @@ class CoDelQueue(Queue):
             raise ValueError("target and interval must be positive")
         self.target = target
         self.interval = interval
-        self._enqueue_times: deque = deque()
-        self.first_above_time = 0.0
+        self._enqueue_times: deque[float] = deque()
+        # None while the head sojourn is acceptable — a sentinel rather
+        # than 0.0 so no float-equality test is needed to read the state.
+        self.first_above_time: Optional[float] = None
         self.dropping = False
         self.drop_next = 0.0
         self.drop_count = 0
@@ -181,23 +194,25 @@ class CoDelQueue(Queue):
 
     def _pop(self) -> Optional[Packet]:
         if not self._items:
-            self.first_above_time = 0.0
+            self.first_above_time = None
             return None
         self._enqueue_times.popleft()
         packet = self._items.popleft()
         self.occupancy_bytes -= packet.size
+        if self.sanitizer is not None:
+            self.sanitizer.on_dequeue(self, packet)
         return packet
 
     def _sojourn_ok(self, now: float) -> bool:
         """True while the head packet's delay is acceptable."""
         if not self._items:
-            self.first_above_time = 0.0
+            self.first_above_time = None
             return True
         sojourn = now - self._enqueue_times[0]
         if sojourn < self.target:
-            self.first_above_time = 0.0
+            self.first_above_time = None
             return True
-        if self.first_above_time == 0.0:
+        if self.first_above_time is None:
             self.first_above_time = now + self.interval
             return True
         return now < self.first_above_time
@@ -207,6 +222,8 @@ class CoDelQueue(Queue):
         packet = self._items.popleft()
         self.occupancy_bytes -= packet.size
         self.dropped_packets += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_queue_drop(self, packet)
         if self.drop_listener is not None:
             self.drop_listener(now, packet)
 

@@ -183,6 +183,8 @@ class TcpSender:
 
         self.cwnd_listener: Optional[CwndListener] = None
         self.completion_listener: Optional[Callable[["TcpSender"], None]] = None
+        # Runtime sanitizer (None when off): audited after every ACK/RTO.
+        self._sanitizer = sim.sanitizer
 
     # ------------------------------------------------------------------
     # Derived state
@@ -391,6 +393,8 @@ class TcpSender:
         self.rate_estimator.finish_sample(rs, self.rtt.min_rtt)
         self.cca.on_ack(rs, self)
         self._notify_cwnd("ack")
+        if self._sanitizer is not None:
+            self._sanitizer.check_sender(self)
 
         # --- completion / RTO rearm -----------------------------------
         if self.total_packets is not None and self.snd_una >= self.total_packets:
@@ -507,6 +511,8 @@ class TcpSender:
         self._rto_checked = False
         self.recovery_point = self.snd_nxt
         self._notify_cwnd("rto")
+        if self._sanitizer is not None:
+            self._sanitizer.check_sender(self)
         self._set_rto_deadline(now + self.rtt.rto)
         self._try_send()
 

@@ -51,6 +51,29 @@ class RangeSet:
         """All ranges as a list of ``(start, end)`` tuples, ascending."""
         return list(zip(self._starts, self._ends))
 
+    def consistency_error(self) -> Optional[str]:
+        """Describe the first structural-invariant violation, or ``None``.
+
+        The representation invariant — parallel start/end lists holding
+        sorted, disjoint, non-adjacent, non-empty half-open ranges — is
+        what every bisect-based query relies on. The runtime sanitizer
+        calls this on the sender's scoreboards after each ACK.
+        """
+        if len(self._starts) != len(self._ends):
+            return (
+                f"parallel lists out of sync: {len(self._starts)} starts, "
+                f"{len(self._ends)} ends"
+            )
+        prev_end: Optional[int] = None
+        for start, end in zip(self._starts, self._ends):
+            if start >= end:
+                return f"empty or inverted range [{start}, {end})"
+            if prev_end is not None and start <= prev_end:
+                kind = "overlapping" if start < prev_end else "unmerged adjacent"
+                return f"{kind} ranges at [{start}, {end}) after end {prev_end}"
+            prev_end = end
+        return None
+
     def range_count(self) -> int:
         """Number of disjoint fragments."""
         return len(self._starts)

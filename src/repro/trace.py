@@ -18,7 +18,7 @@ from __future__ import annotations
 import csv
 import dataclasses
 import json
-from typing import IO, Iterable, Union
+from typing import IO, Any, Dict, Iterable, Tuple, Union
 
 from .core.results import ExperimentResult
 from .instrumentation.tcpprobe import CwndProbe
@@ -43,7 +43,7 @@ FLOW_FIELDS = (
 )
 
 
-def _open(dest: PathOrFile):
+def _open(dest: PathOrFile) -> Tuple[IO[str], bool]:
     if isinstance(dest, str):
         return open(dest, "w", newline=""), True
     return dest, False
@@ -105,7 +105,7 @@ def write_cwnd_csv(probe: CwndProbe, dest: PathOrFile) -> None:
             fh.close()
 
 
-def result_to_dict(result: ExperimentResult, include_drop_times: bool = False) -> dict:
+def result_to_dict(result: ExperimentResult, include_drop_times: bool = False) -> Dict[str, Any]:
     """The full result as a JSON-serialisable dictionary."""
     payload = {
         "scenario": dataclasses.asdict(result.scenario),

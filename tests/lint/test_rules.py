@@ -1,0 +1,288 @@
+"""Per-rule fixtures for the static pass.
+
+Each rule gets three snippets: one that triggers it, one that is clean,
+and one where an inline suppression silences it.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import ALL_CODES, RULE_SUMMARIES
+from repro.lint.runner import UNUSED_SUPPRESSION, lint_source
+
+
+def codes_of(source: str):
+    return [f.code for f in lint_source("snippet.py", textwrap.dedent(source))]
+
+
+CASES = {
+    "RPR001": {
+        "trigger": """
+            import time
+            def measure():
+                return time.time()
+            """,
+        "clean": """
+            def measure(sim):
+                return sim.now
+            """,
+        "suppressed": """
+            import time
+            def measure():
+                return time.time()  # repro-lint: disable=RPR001 -- wall profiling
+            """,
+    },
+    "RPR002": {
+        "trigger": """
+            import random
+            def jitter():
+                return random.uniform(0.0, 1.0)
+            """,
+        "clean": """
+            import random
+            def jitter(rng: random.Random):
+                return rng.uniform(0.0, 1.0)
+            """,
+        "suppressed": """
+            import random
+            def jitter():
+                return random.uniform(0.0, 1.0)  # repro-lint: disable=RPR002
+            """,
+    },
+    "RPR003": {
+        "trigger": """
+            def check(sim, deadline):
+                return sim.now == deadline
+            """,
+        "clean": """
+            def check(sim, deadline):
+                return sim.now >= deadline
+            """,
+        "suppressed": """
+            def check(sim, deadline):
+                return sim.now == deadline  # repro-lint: disable=RPR003 -- exact rearm
+            """,
+    },
+    "RPR004": {
+        "trigger": """
+            def start_all(sim, flows):
+                for flow in set(flows):
+                    sim.schedule(0.0, flow.start)
+            """,
+        "clean": """
+            def start_all(sim, flows):
+                for flow in sorted(set(flows)):
+                    sim.schedule(0.0, flow.start)
+            """,
+        "suppressed": """
+            def start_all(sim, flows):
+                # repro-lint: disable=RPR004 -- int keys, insertion-ordered by test
+                for flow in set(flows):
+                    sim.schedule(0.0, flow.start)
+            """,
+    },
+    "RPR005": {
+        "trigger": """
+            def record(value, log=[]):
+                log.append(value)
+            """,
+        "clean": """
+            def record(value, log=None):
+                if log is None:
+                    log = []
+                log.append(value)
+            """,
+        "suppressed": """
+            def record(value, log=[]):  # repro-lint: disable=RPR005
+                log.append(value)
+            """,
+    },
+    "RPR006": {
+        "trigger": """
+            def arm(sim):
+                sim.schedule(1.0, fire, 1, 2)
+            def fire(x):
+                pass
+            """,
+        "clean": """
+            def arm(sim):
+                sim.schedule(1.0, fire, 1, 2)
+            def fire(x, y):
+                pass
+            """,
+        "suppressed": """
+            def arm(sim):
+                sim.schedule(1.0, fire, 1, 2)  # repro-lint: disable=RPR006
+            def fire(x):
+                pass
+            """,
+    },
+}
+
+
+@pytest.mark.parametrize("code", sorted(CASES))
+def test_rule_triggers(code):
+    assert codes_of(CASES[code]["trigger"]) == [code]
+
+
+@pytest.mark.parametrize("code", sorted(CASES))
+def test_rule_clean(code):
+    assert codes_of(CASES[code]["clean"]) == []
+
+
+@pytest.mark.parametrize("code", sorted(CASES))
+def test_rule_suppressed(code):
+    assert codes_of(CASES[code]["suppressed"]) == []
+
+
+def test_every_rule_has_a_fixture_and_summary():
+    assert sorted(CASES) == sorted(ALL_CODES)
+    assert sorted(RULE_SUMMARIES) == sorted(ALL_CODES)
+
+
+# ----------------------------------------------------------------------
+# Rule-specific edges
+# ----------------------------------------------------------------------
+
+def test_wall_clock_variants_flagged():
+    src = """
+        import time
+        from datetime import datetime
+        def f():
+            return time.perf_counter(), time.monotonic(), datetime.now()
+        """
+    assert codes_of(src) == ["RPR001"] * 3
+
+
+def test_seeded_random_not_flagged():
+    assert codes_of(
+        """
+        import random
+        RNG = random.Random(42)
+        """
+    ) == []
+
+
+def test_comparison_against_none_not_flagged():
+    # `x.delivered_time == None` is an identity question, not a float
+    # hazard (and is its own style problem, not this linter's).
+    assert codes_of(
+        """
+        def f(meta):
+            return meta.delivered_time == None
+        """
+    ) == []
+
+
+def test_set_iteration_without_scheduling_not_flagged():
+    assert codes_of(
+        """
+        def total(flows):
+            acc = 0
+            for flow in set(flows):
+                acc += flow
+            return acc
+        """
+    ) == []
+
+
+def test_dict_view_iteration_feeding_schedule_flagged():
+    src = """
+        def start(sim, senders):
+            for fid in senders.keys():
+                sim.schedule_at(1.0, senders[fid].start)
+        """
+    assert codes_of(src) == ["RPR004"]
+
+
+def test_schedule_arity_resolves_self_methods():
+    src = """
+        class Node:
+            def go(self, sim):
+                sim.schedule(1.0, self._fire, 1, 2, 3)
+            def _fire(self, x):
+                pass
+        """
+    assert codes_of(src) == ["RPR006"]
+
+
+def test_schedule_arity_allows_defaults_and_varargs():
+    assert codes_of(
+        """
+        def arm(sim):
+            sim.schedule(1.0, fire, 1)
+            sim.schedule(1.0, spray, 1, 2, 3, 4)
+        def fire(x, y=2):
+            pass
+        def spray(*args):
+            pass
+        """
+    ) == []
+
+
+def test_schedule_arity_skips_unresolvable_callbacks():
+    # `self.sink.send` cannot be resolved statically; stay silent.
+    assert codes_of(
+        """
+        class Wire:
+            def forward(self, packet):
+                self.sim.schedule(0.1, self.sink.send, packet)
+        """
+    ) == []
+
+
+# ----------------------------------------------------------------------
+# Suppression machinery
+# ----------------------------------------------------------------------
+
+def test_unused_suppression_is_reported():
+    findings = lint_source(
+        "snippet.py",
+        "x = 1  # repro-lint: disable=RPR001\n",
+    )
+    assert [f.code for f in findings] == [UNUSED_SUPPRESSION]
+
+
+def test_directive_inside_docstring_is_inert():
+    src = textwrap.dedent(
+        '''
+        def f():
+            """Example::
+
+                t = time.time()  # repro-lint: disable=RPR001
+            """
+        '''
+    )
+    assert lint_source("snippet.py", src) == []
+
+
+def test_disable_all_covers_every_code():
+    src = textwrap.dedent(
+        """
+        import time
+        def f(sim, deadline, log=[]):  # repro-lint: disable=all
+            return None
+        """
+    )
+    assert lint_source("snippet.py", src) == []
+
+
+def test_wrong_code_does_not_suppress():
+    src = textwrap.dedent(
+        """
+        import time
+        def f():
+            return time.time()  # repro-lint: disable=RPR002
+        """
+    )
+    codes = {f.code for f in lint_source("snippet.py", src)}
+    # The RPR001 finding survives and the mismatched directive is unused.
+    assert codes == {"RPR001", UNUSED_SUPPRESSION}
+
+
+def test_syntax_error_reported_not_raised():
+    findings = lint_source("snippet.py", "def broken(:\n")
+    assert [f.code for f in findings] == ["RPR999"]

@@ -1,0 +1,223 @@
+"""Runtime simulation sanitizer: toggles, trip wires, clean runs."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.lint.sanitizer import SanitizerError, SimSanitizer
+from repro.sim.engine import Simulator
+from repro.sim.link import Link
+from repro.sim.packet import Packet
+from repro.sim.queue import CoDelQueue, DropTailQueue
+from repro.tcp.cca.newreno import NewReno
+from tests.conftest import make_pipe
+
+
+# ----------------------------------------------------------------------
+# Enablement
+# ----------------------------------------------------------------------
+
+def test_disabled_by_default(monkeypatch):
+    monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+    assert Simulator().sanitizer is None
+
+
+def test_env_var_enables(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert Simulator().sanitizer is not None
+
+
+def test_env_var_zero_disables(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "0")
+    assert Simulator().sanitizer is None
+
+
+def test_constructor_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_SANITIZE", "1")
+    assert Simulator(sanitize=False).sanitizer is None
+    monkeypatch.delenv("REPRO_SANITIZE")
+    assert Simulator(sanitize=True).sanitizer is not None
+
+
+# ----------------------------------------------------------------------
+# Engine invariants
+# ----------------------------------------------------------------------
+
+def test_nan_schedule_trips():
+    sim = Simulator(sanitize=True)
+    with pytest.raises(SanitizerError, match="NaN"):
+        sim.schedule(math.nan, lambda: None)
+
+
+def test_clean_run_counts_checks():
+    sim = Simulator(sanitize=True)
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, fired.append, "b")
+    sim.run()
+    assert fired == ["a", "b"]
+    assert sim.sanitizer is not None and sim.sanitizer.checks_performed >= 4
+
+
+def test_clock_regression_trips():
+    sim = Simulator(sanitize=True)
+    sim.schedule(1.0, lambda: None)
+    sim.now = 5.0  # corrupt the clock behind the engine's back
+    with pytest.raises(SanitizerError, match="clock regression"):
+        sim.run()
+
+
+# ----------------------------------------------------------------------
+# Queue byte conservation
+# ----------------------------------------------------------------------
+
+def _watched_queue(capacity=10_000):
+    sim = Simulator(sanitize=True)
+    queue = DropTailQueue(capacity)
+    sim.sanitizer.watch_queue(queue)
+    return sim, queue
+
+
+def test_clean_queue_traffic_passes():
+    _, queue = _watched_queue()
+    for seq in range(5):
+        assert queue.offer(0.0, Packet.data(0, seq, 1000))
+    while queue.poll(0.0) is not None:
+        pass
+    assert queue.occupancy_bytes == 0
+
+
+def test_injected_byte_leak_trips_on_enqueue():
+    _, queue = _watched_queue()
+    assert queue.offer(0.0, Packet.data(0, 0, 1000))
+    # Inject the bug: bytes appear in the occupancy ledger without ever
+    # having been admitted (the class of accounting slip the sanitizer
+    # exists for).
+    queue.occupancy_bytes += 123
+    with pytest.raises(SanitizerError, match="byte conservation"):
+        queue.offer(0.0, Packet.data(0, 1, 1000))
+
+
+def test_injected_byte_leak_trips_on_dequeue():
+    _, queue = _watched_queue()
+    assert queue.offer(0.0, Packet.data(0, 0, 1000))
+    queue.occupancy_bytes -= 7  # leak in the other direction
+    with pytest.raises(SanitizerError, match="byte conservation"):
+        queue.poll(0.0)
+
+
+def test_reject_path_checks_conservation():
+    _, queue = _watched_queue(capacity=1500)
+    assert queue.offer(0.0, Packet.data(0, 0, 1000))
+    queue.occupancy_bytes += 1  # corrupt, then force a tail drop
+    with pytest.raises(SanitizerError, match="byte conservation"):
+        queue.offer(0.0, Packet.data(0, 1, 1000))
+
+
+def test_codel_head_drops_stay_conserved():
+    sim = Simulator(sanitize=True)
+    queue = CoDelQueue(100_000, target=0.001, interval=0.002)
+    sim.sanitizer.watch_queue(queue)
+    for seq in range(20):
+        assert queue.offer(0.0, Packet.data(0, seq, 1000))
+    # Dequeue far past the sojourn target so CoDel head-drops some
+    # packets; the in-queue drop path must keep the ledger balanced.
+    polled = 0
+    for step in range(20):
+        if queue.poll(1.0 + step * 0.01) is not None:
+            polled += 1
+        if not len(queue):
+            break
+    assert queue.dropped_packets > 0
+    assert queue.occupancy_bytes == 0
+
+
+# ----------------------------------------------------------------------
+# Link invariants
+# ----------------------------------------------------------------------
+
+class _Counter:
+    def __init__(self):
+        self.packets = []
+
+    def send(self, packet):
+        self.packets.append(packet)
+
+
+def test_link_transmits_clean_under_sanitizer():
+    sim = Simulator(sanitize=True)
+    sink = _Counter()
+    link = Link(sim, rate_bps=8_000_000, delay=0.001, sink=sink)
+    for seq in range(10):
+        link.send(Packet.data(0, seq, 1000))
+    sim.run()
+    assert len(sink.packets) == 10
+    assert link.queue.sanitizer is sim.sanitizer
+
+
+def test_link_finish_while_idle_trips():
+    sim = Simulator(sanitize=True)
+    link = Link(sim, rate_bps=8_000_000, delay=0.0, sink=_Counter())
+    assert not link.busy
+    with pytest.raises(SanitizerError, match="while link idle"):
+        sim.sanitizer.on_link_finish(link, Packet.data(3, 0, 1000))
+
+
+# ----------------------------------------------------------------------
+# TCP sender invariants
+# ----------------------------------------------------------------------
+
+class _BrokenCca(NewReno):
+    """Collapses cwnd below 1 MSS on the first ACK."""
+
+    def on_ack(self, rs, conn):
+        self.cwnd = 0.25
+
+
+def test_cwnd_below_one_mss_trips():
+    sim = Simulator(sanitize=True)
+    sender, _, _ = make_pipe(sim, _BrokenCca(), total_packets=50)
+    sender.start()
+    with pytest.raises(SanitizerError, match="below 1 MSS"):
+        sim.run()
+
+
+def test_corrupt_rangeset_trips():
+    sim = Simulator(sanitize=True)
+    sender, _, _ = make_pipe(sim, NewReno(), total_packets=10)
+    # Hand-corrupt the SACK scoreboard: overlapping ranges violate the
+    # representation invariant every bisect query relies on.
+    sender._sacked._starts = [0, 2]
+    sender._sacked._ends = [5, 7]
+    with pytest.raises(SanitizerError, match="RangeSet corrupt"):
+        sim.sanitizer.check_sender(sender)
+
+
+def test_sacked_outside_covered_trips():
+    sim = Simulator(sanitize=True)
+    sender, _, _ = make_pipe(sim, NewReno(), total_packets=10)
+    sender._sacked.add(4, 8)  # never mirrored into _covered
+    with pytest.raises(SanitizerError, match="not in covered"):
+        sim.sanitizer.check_sender(sender)
+
+
+def test_diagnostic_names_flow_and_time():
+    sim = Simulator(sanitize=True)
+    sender, _, _ = make_pipe(sim, _BrokenCca(), total_packets=50)
+    sender.start()
+    with pytest.raises(SanitizerError, match=r"t=\d+\.\d+ flow=0"):
+        sim.run()
+
+
+def test_clean_transfer_passes_sanitized():
+    sim = Simulator(sanitize=True)
+    sender, receiver, _ = make_pipe(
+        sim, NewReno(), total_packets=200, drop_indices=(7, 31)
+    )
+    sender.start()
+    sim.run()
+    assert sender.completed
+    assert receiver.rcv_nxt == 200
+    assert sim.sanitizer.checks_performed > 0

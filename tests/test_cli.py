@@ -75,3 +75,49 @@ def test_compete_needs_enough_flows():
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_lint_list_rules(capsys):
+    code, out = run_cli(capsys, "lint", "--list-rules")
+    assert code == 0
+    assert "RPR001" in out and "RPR006" in out
+
+
+def test_lint_flags_violations(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+    code, out = run_cli(capsys, "lint", str(bad))
+    assert code == 1
+    assert "RPR001" in out
+
+
+def test_lint_clean_file_exits_zero(tmp_path, capsys):
+    good = tmp_path / "good.py"
+    good.write_text("def f(sim):\n    return sim.now\n")
+    code, out = run_cli(capsys, "lint", str(good))
+    assert code == 0
+    assert "clean" in out
+
+
+def test_lint_select_filters_codes(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\n\ndef f(log=[]):\n    return time.time()\n")
+    code, out = run_cli(capsys, "lint", str(bad), "--select", "RPR005")
+    assert code == 1
+    assert "RPR005" in out and "RPR001" not in out
+
+
+def test_lint_unknown_select_code_is_usage_error(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\n\ndef f():\n    return time.time()\n")
+    code = main(["lint", str(bad), "--select", "RPR123"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "unknown rule code" in err
+
+
+def test_lint_missing_path_is_usage_error(tmp_path, capsys):
+    code = main(["lint", str(tmp_path / "no_such_dir")])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "no such file or directory" in err
