@@ -11,11 +11,11 @@ from __future__ import annotations
 
 from common import (
     PROFILE,
-    cached_run,
     core_scenario,
     fmt,
     fmt_pct,
     print_table,
+    run_batch,
 )
 from repro.analysis.throughput import loss_to_halving_ratio
 
@@ -23,16 +23,20 @@ BUFFER_FRACTIONS = (0.25, 0.5, 1.0)
 
 
 def sweep():
-    out = {}
-    for frac in BUFFER_FRACTIONS:
-        sc = core_scenario(
+    scs = {
+        frac: core_scenario(
             [("newreno", 5000, 0.020)],
             "ablation",
             f"ablate-buffer-{frac}",
             seed=91,
             buffer_bdp=frac,
         )
-        result = cached_run(sc)
+        for frac in BUFFER_FRACTIONS
+    }
+    results = run_batch(list(scs.values()))
+    out = {}
+    for frac, sc in scs.items():
+        result = results[sc.name]
         out[frac] = (
             result.utilization,
             result.aggregate_loss_rate,

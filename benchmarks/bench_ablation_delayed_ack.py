@@ -10,23 +10,26 @@ responds to stack configuration the way the model family predicts.
 
 from __future__ import annotations
 
-from common import PROFILE, cached_run, core_scenario, fmt, print_table
+from common import PROFILE, core_scenario, fmt, print_table, run_batch
 from repro.analysis.mathis_fit import fit_mathis
 from repro.units import MSS
 
 
 def constants():
-    out = {}
-    for delayed in (True, False):
-        sc = core_scenario(
+    scs = {
+        delayed: core_scenario(
             [("newreno", 3000, 0.020)],
             "ablation",
             f"ablate-delack-{delayed}",
             seed=92,
         ).with_overrides(delayed_ack=delayed)
-        result = cached_run(sc)
-        out[delayed] = fit_mathis(result.observations(), "halving", MSS).constant
-    return out
+        for delayed in (True, False)
+    }
+    results = run_batch(list(scs.values()))
+    return {
+        delayed: fit_mathis(results[sc.name].observations(), "halving", MSS).constant
+        for delayed, sc in scs.items()
+    }
 
 
 def test_ablation_delayed_ack(benchmark):

@@ -12,10 +12,10 @@ from __future__ import annotations
 
 from common import (
     PROFILE,
-    cached_run,
     core_scenario,
     fmt,
     print_table,
+    run_batch,
 )
 from repro.analysis.burstiness import windowed_burstiness
 from repro.analysis.stats import median
@@ -23,18 +23,22 @@ from repro.analysis.throughput import loss_to_halving_ratio
 
 
 def compare():
-    out = {}
-    for red in (False, True):
-        sc = core_scenario(
+    scs = {
+        "red" if red else "droptail": core_scenario(
             [("newreno", 3000, 0.020)],
             "ablation",
             f"ablate-qdisc-{'red' if red else 'droptail'}",
             seed=93,
             use_red_queue=red,
         )
-        result = cached_run(sc)
+        for red in (False, True)
+    }
+    results = run_batch(list(scs.values()))
+    out = {}
+    for name, sc in scs.items():
+        result = results[sc.name]
         windows = windowed_burstiness(result.drop_times, 2.0)
-        out["red" if red else "droptail"] = (
+        out[name] = (
             loss_to_halving_ratio(
                 result.queue_drops, max(1, result.total_congestion_events)
             ),

@@ -16,30 +16,33 @@ from __future__ import annotations
 from common import (
     PAPER_CORE_COUNTS,
     PROFILE,
-    cached_run,
     core_scenario,
     fmt,
     fmt_pct,
     print_table,
+    run_batch,
 )
 
 
 def bbr2_results():
-    intra = {}
-    compete = {}
+    intra_scs = {}
+    compete_scs = {}
     for count in PAPER_CORE_COUNTS:
-        sc = core_scenario(
+        intra_scs[count] = core_scenario(
             [("bbr2", count, 0.020)], "fig4", f"ext-bbr2-intra-{count}", seed=71
         )
-        intra[count] = cached_run(sc).jfi()
         half = count // 2
-        sc = core_scenario(
+        compete_scs[count] = core_scenario(
             [("bbr2", half, 0.020), ("newreno", half, 0.020)],
             "share",
             f"ext-bbr2-v-reno-{count}",
             seed=71,
         )
-        compete[count] = cached_run(sc).shares()["bbr2"]
+    results = run_batch(list(intra_scs.values()) + list(compete_scs.values()))
+    intra = {c: results[sc.name].jfi() for c, sc in intra_scs.items()}
+    compete = {
+        c: results[sc.name].shares()["bbr2"] for c, sc in compete_scs.items()
+    }
     return intra, compete
 
 

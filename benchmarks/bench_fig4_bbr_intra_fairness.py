@@ -13,32 +13,33 @@ from common import (
     PAPER_CORE_COUNTS,
     PAPER_EDGE_COUNTS,
     PROFILE,
-    cached_run,
     core_scenario,
     edge_scenario,
     fmt,
     print_table,
+    run_batch,
 )
 
 PAST_WORK_JFI = 0.99
 
 
 def jfi_sweeps():
-    core = {}
-    edge = {}
+    core_scs = {}
+    edge_scs = {}
     for rtt in FIG4_RTTS:
         for count in PAPER_CORE_COUNTS:
-            sc = core_scenario(
+            core_scs[(count, rtt)] = core_scenario(
                 [("bbr", count, rtt)], "fig4",
                 f"fig4-core-{count}-{int(rtt * 1000)}ms", seed=31,
             )
-            core[(count, rtt)] = cached_run(sc).jfi()
         for count in PAPER_EDGE_COUNTS:
-            sc = edge_scenario(
+            edge_scs[(count, rtt)] = edge_scenario(
                 [("bbr", count, rtt)], "fig4",
                 f"fig4-edge-{count}-{int(rtt * 1000)}ms", seed=31,
             )
-            edge[(count, rtt)] = cached_run(sc).jfi()
+    results = run_batch(list(core_scs.values()) + list(edge_scs.values()))
+    core = {k: results[sc.name].jfi() for k, sc in core_scs.items()}
+    edge = {k: results[sc.name].jfi() for k, sc in edge_scs.items()}
     return core, edge
 
 

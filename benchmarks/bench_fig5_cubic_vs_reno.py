@@ -11,28 +11,28 @@ from common import (
     FIG_RTTS,
     PAPER_CORE_COUNTS,
     PROFILE,
-    cached_run,
     core_scenario,
     fmt_pct,
     print_table,
+    run_batch,
 )
 
 HOME_LINK_SHARE = 0.80  # the paper's "Home Link" reference line
 
 
 def cubic_shares():
-    out = {}
+    scs = {}
     for rtt in FIG_RTTS:
         for count in PAPER_CORE_COUNTS:
             half = count // 2
-            sc = core_scenario(
+            scs[(count, rtt)] = core_scenario(
                 [("cubic", half, rtt), ("newreno", half, rtt)],
                 "share",
                 f"fig5-{count}-{int(rtt * 1000)}ms",
                 seed=51,
             )
-            out[(count, rtt)] = cached_run(sc).shares()["cubic"]
-    return out
+    results = run_batch(list(scs.values()))
+    return {k: results[sc.name].shares()["cubic"] for k, sc in scs.items()}
 
 
 def test_fig5_cubic_vs_reno(benchmark):

@@ -13,10 +13,10 @@ from common import (
     PAPER_CORE_COUNTS,
     PROFILE,
     SCALE,
-    cached_run,
     core_scenario,
     fmt_pct,
     print_table,
+    run_batch,
 )
 from repro.models.ware_bbr import predict_bbr_share
 
@@ -24,17 +24,17 @@ HOME_LINK_SHARE = 0.40
 
 
 def bbr_shares(competitor: str = "newreno", tag: str = "fig6"):
-    out = {}
+    scs = {}
     for rtt in FIG_RTTS:
         for count in PAPER_CORE_COUNTS:
             # One *actual* BBR flow against the scaled competitor count,
             # matching the paper's single-flow construction.
             groups = [("bbr", SCALE, rtt), (competitor, count - SCALE, rtt)]
-            sc = core_scenario(
+            scs[(count, rtt)] = core_scenario(
                 groups, "bbr_single", f"{tag}-{count}-{int(rtt * 1000)}ms", seed=61
             )
-            out[(count, rtt)] = cached_run(sc).shares()["bbr"]
-    return out
+    results = run_batch(list(scs.values()))
+    return {k: results[sc.name].shares()["bbr"] for k, sc in scs.items()}
 
 
 def check_and_print(out, competitor: str, figure: str) -> None:

@@ -12,28 +12,28 @@ from common import (
     FIG_RTTS,
     PAPER_CORE_COUNTS,
     PROFILE,
-    cached_run,
     core_scenario,
     fmt_pct,
     print_table,
+    run_batch,
 )
 
 HOME_LINK_SHARE = 0.95
 
 
 def bbr_equal_shares(competitor: str):
-    out = {}
+    scs = {}
     for rtt in FIG_RTTS:
         for count in PAPER_CORE_COUNTS:
             half = count // 2
-            sc = core_scenario(
+            scs[(count, rtt)] = core_scenario(
                 [("bbr", half, rtt), (competitor, half, rtt)],
                 "share",
                 f"fig8-{competitor}-{count}-{int(rtt * 1000)}ms",
                 seed=81,
             )
-            out[(count, rtt)] = cached_run(sc).shares()["bbr"]
-    return out
+    results = run_batch(list(scs.values()))
+    return {k: results[sc.name].shares()["bbr"] for k, sc in scs.items()}
 
 
 def _report(out, competitor: str, panel: str) -> None:

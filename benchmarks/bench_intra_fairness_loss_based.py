@@ -9,22 +9,23 @@ from __future__ import annotations
 from common import (
     PAPER_CORE_COUNTS,
     PROFILE,
-    cached_run,
     core_scenario,
     fmt,
     print_table,
+    run_batch,
 )
 
 
 def jfis():
-    out = {}
-    for cca in ("newreno", "cubic"):
-        for count in PAPER_CORE_COUNTS:
-            sc = core_scenario(
-                [(cca, count, 0.020)], "intra", f"intra-{cca}-{count}", seed=41
-            )
-            out[(cca, count)] = cached_run(sc).jfi()
-    return out
+    scs = {
+        (cca, count): core_scenario(
+            [(cca, count, 0.020)], "intra", f"intra-{cca}-{count}", seed=41
+        )
+        for cca in ("newreno", "cubic")
+        for count in PAPER_CORE_COUNTS
+    }
+    results = run_batch(list(scs.values()))
+    return {k: results[sc.name].jfi() for k, sc in scs.items()}
 
 
 def test_intra_fairness_loss_based(benchmark):

@@ -3,17 +3,27 @@
 Every benchmark regenerates one table or figure from the paper. The
 underlying experiments are expensive (packet-level simulation), so:
 
-- results are cached on disk under ``benchmarks/_cache/`` keyed by the
-  scenario definition — re-running a bench re-prints its table from
-  cache (delete the directory or set ``REPRO_BENCH_FRESH=1`` to force
-  re-simulation);
+- results live in the content-addressed run store (``repro.runstore``)
+  under ``benchmarks/_cache/`` — sha256 of the canonical scenario JSON
+  + run options + ``CACHE_VERSION`` (see ``repro/runstore/keys.py`` for
+  the exact scheme). Re-running a bench serves its tables from the
+  store; ``repro cache ls`` shows what is in it, and setting
+  ``REPRO_BENCH_FRESH=1`` forces re-simulation;
+- batches go through the fault-tolerant scheduler: identical scenarios
+  shared between benches simulate once, scenarios fan out over worker
+  processes (``REPRO_BENCH_PARALLEL``, default: CPU count; ``1`` runs
+  inline), each completed result is persisted atomically as it
+  finishes, and an interrupted bench resumes from what completed;
 
-  *Cache tracking policy*: the seed pickles shipped with the repo stay
+  *Cache tracking policy*: the seed results shipped with the repo stay
   committed (they make every figure reproducible without hours of
   simulation), but the directory is listed in ``.gitignore`` so entries
   *you* generate — new scenarios, bumped ``CACHE_VERSION`` — never
   churn in diffs. To publish refreshed seeds after a physics change,
-  ``git add -f benchmarks/_cache/<hash>.pkl`` explicitly;
+  ``git add -f benchmarks/_cache/objects/<key>.pkl`` plus the manifest;
+- ``REPRO_BENCH_STATS=<path>`` writes an aggregate scheduler-stats JSON
+  (hits/misses/retries/events-per-sec) at interpreter exit — CI uses it
+  to assert a warm run performs zero simulations;
 - ``REPRO_BENCH_PROFILE`` selects the fidelity/runtime trade-off:
 
   * ``smoke``  — minutes-scale sanity profile (tiny flow counts, short
@@ -30,20 +40,30 @@ with identical per-flow share and buffer-per-BDP (see DESIGN.md §3).
 
 from __future__ import annotations
 
-import hashlib
+import atexit
+import json
 import os
-import pickle
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
-from repro.core.experiment import run_experiment
 from repro.core.results import ExperimentResult
 from repro.core.scenarios import FlowGroup, Scenario
+from repro.runstore import (
+    CACHE_VERSION,
+    Job,
+    RunStore,
+    SweepStats,
+    print_progress,
+    run_jobs,
+)
 from repro.units import bdp_bytes, gbps, mbps, megabytes
 
-#: Bump when simulator physics change to invalidate cached results.
-CACHE_VERSION = 7
-
 CACHE_DIR = os.path.join(os.path.dirname(__file__), "_cache")
+
+#: The shared run store every benchmark reads and writes.
+STORE = RunStore(CACHE_DIR)
+
+#: Aggregate scheduler counters across every batch this process ran.
+STATS = SweepStats()
 
 PROFILE = os.environ.get("REPRO_BENCH_PROFILE", "quick")
 SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "200" if PROFILE == "smoke" else "50"))
@@ -122,22 +142,48 @@ def edge_scenario(
     )
 
 
-def _cache_key(scenario: Scenario) -> str:
-    blob = f"v{CACHE_VERSION}|{scenario!r}"
-    return hashlib.md5(blob.encode()).hexdigest()
+def _bench_workers(pending: int) -> int:
+    raw = os.environ.get("REPRO_BENCH_PARALLEL", "")
+    if raw:
+        return max(1, int(raw))
+    return min(pending, os.cpu_count() or 1) or 1
 
 
-def cached_run(scenario: Scenario) -> ExperimentResult:
-    """Run an experiment, reusing a cached result when available."""
-    os.makedirs(CACHE_DIR, exist_ok=True)
-    path = os.path.join(CACHE_DIR, _cache_key(scenario) + ".pkl")
-    if os.path.exists(path) and not os.environ.get("REPRO_BENCH_FRESH"):
-        with open(path, "rb") as fh:
-            return pickle.load(fh)
-    result = run_experiment(scenario)
-    with open(path, "wb") as fh:
-        pickle.dump(result, fh)
-    return result
+def _maybe_dump_stats() -> None:
+    path = os.environ.get("REPRO_BENCH_STATS")
+    if path:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(STATS.to_json(), fh, indent=2)
+
+
+atexit.register(_maybe_dump_stats)
+
+
+def run_batch(scenarios: Sequence[Scenario]) -> Dict[str, ExperimentResult]:
+    """Run scenarios through the store-backed scheduler, keyed by name.
+
+    Hits are served from ``benchmarks/_cache``; misses fan out over
+    ``REPRO_BENCH_PARALLEL`` workers, persisting each result as it
+    completes (so a killed bench resumes from what finished). Scenario
+    names must be unique within a batch — they key the returned dict.
+    """
+    names = [sc.name for sc in scenarios]
+    if len(set(names)) != len(names):
+        raise ValueError("scenario names within a batch must be unique")
+    outcome = run_jobs(
+        [Job(sc) for sc in scenarios],
+        store=STORE,
+        workers=_bench_workers(len(scenarios)),
+        fresh=bool(os.environ.get("REPRO_BENCH_FRESH")),
+        progress=print_progress if os.environ.get("REPRO_BENCH_PROGRESS") else None,
+    )
+    STATS.merge(outcome.stats)
+    return dict(zip(names, outcome.results))
+
+
+def run_one(scenario: Scenario) -> ExperimentResult:
+    """Single-scenario convenience wrapper over :func:`run_batch`."""
+    return run_batch([scenario])[scenario.name]
 
 
 def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
@@ -169,21 +215,23 @@ def fmt(x: float, digits: int = 2) -> str:
 
 def mathis_core_results() -> Dict[int, ExperimentResult]:
     """NewReno intra-CCA CoreScale runs at 20 ms (Table 1 / Figs 2-3)."""
-    out: Dict[int, ExperimentResult] = {}
-    for count in PAPER_CORE_COUNTS:
-        sc = core_scenario(
+    scs: List[Scenario] = [
+        core_scenario(
             [("newreno", count, 0.020)], "mathis", f"mathis-core-{count}", seed=21
         )
-        out[count] = cached_run(sc)
-    return out
+        for count in PAPER_CORE_COUNTS
+    ]
+    results = run_batch(scs)
+    return {count: results[sc.name] for count, sc in zip(PAPER_CORE_COUNTS, scs)}
 
 
 def mathis_edge_results() -> Dict[int, ExperimentResult]:
     """NewReno intra-CCA EdgeScale runs at 20 ms (Table 1 / Figs 2-3)."""
-    out: Dict[int, ExperimentResult] = {}
-    for count in PAPER_EDGE_COUNTS:
-        sc = edge_scenario(
+    scs: List[Scenario] = [
+        edge_scenario(
             [("newreno", count, 0.020)], "mathis", f"mathis-edge-{count}", seed=21
         )
-        out[count] = cached_run(sc)
-    return out
+        for count in PAPER_EDGE_COUNTS
+    ]
+    results = run_batch(scs)
+    return {count: results[sc.name] for count, sc in zip(PAPER_EDGE_COUNTS, scs)}

@@ -41,6 +41,17 @@ from .models import (
     padhye_throughput,
     predict_bbr_share,
 )
+from .runstore import (
+    CACHE_VERSION,
+    Job,
+    JobEvent,
+    RunOptions,
+    RunStore,
+    SweepError,
+    SweepStats,
+    job_key,
+    run_jobs,
+)
 from .sim import Simulator
 from .tcp.cca import make_cca
 
@@ -54,6 +65,15 @@ __all__ = [
     "competition",
     "run_experiment",
     "run_sweep",
+    "CACHE_VERSION",
+    "Job",
+    "JobEvent",
+    "RunOptions",
+    "RunStore",
+    "SweepError",
+    "SweepStats",
+    "job_key",
+    "run_jobs",
     "ExperimentResult",
     "FlowResult",
     "Simulator",

@@ -3,21 +3,30 @@
 Run single experiments or sweeps from the shell::
 
     repro run --setting core --flows 3000 --cca bbr --scale 50 --duration 60
-    repro run --setting edge --flows 30 --cca newreno
+    repro run --setting edge --flows 30 --cca newreno --store benchmarks/_cache
     repro compete --setting core --flows 1000 --ccas bbr cubic --scale 50
     repro models --rtt 0.02 --p 0.001
+    repro cache ls
+    repro cache gc --dry-run
 
 Output is a human-readable experiment summary plus optional JSON
-(``--json``) for scripting.
+(``--json``) for scripting. ``--store DIR`` routes an experiment
+through the content-addressed run store (``repro.runstore``): a warm
+key is served from disk instead of re-simulating, and fresh results
+are persisted atomically. ``repro cache`` inspects and maintains the
+same store; its default location is ``$REPRO_STORE`` or
+``benchmarks/_cache``.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import datetime
 import json
+import os
 import sys
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from .analysis.mathis_fit import fit_mathis
 from .core.experiment import run_experiment
@@ -28,7 +37,20 @@ from .lint.runner import main as lint_main
 from .models.cubic_model import cubic_throughput
 from .models.mathis import mathis_throughput
 from .models.padhye import padhye_throughput
+from .runstore import (
+    CACHE_VERSION,
+    Job,
+    RunOptions,
+    RunStore,
+    SweepStats,
+    migrate_legacy,
+    print_progress,
+    run_jobs,
+)
 from .units import MSS
+
+#: Where ``repro cache`` (and ``--store`` without a value) looks by default.
+DEFAULT_STORE = os.environ.get("REPRO_STORE") or os.path.join("benchmarks", "_cache")
 
 
 def _base_scenario(args: argparse.Namespace) -> Scenario:
@@ -74,8 +96,14 @@ def _result_json(result: ExperimentResult) -> Dict[str, Any]:
     }
 
 
-def _emit(result: ExperimentResult, args: argparse.Namespace) -> None:
+def _emit(
+    result: ExperimentResult,
+    args: argparse.Namespace,
+    stats: Optional[SweepStats] = None,
+) -> None:
     print(result.summary())
+    if stats is not None:
+        print(f"store: {stats.summary()}")
     if args.mathis:
         for interp in ("loss", "halving"):
             try:
@@ -88,14 +116,34 @@ def _emit(result: ExperimentResult, args: argparse.Namespace) -> None:
                 f"median_error={fit.median_error:.1%}"
             )
     if args.json:
-        json.dump(_result_json(result), sys.stdout, indent=2)
+        payload = _result_json(result)
+        if stats is not None:
+            payload["stats"] = stats.to_json()
+        json.dump(payload, sys.stdout, indent=2)
         print()
+
+
+def _run_one(
+    scenario: Scenario, args: argparse.Namespace
+) -> Tuple[ExperimentResult, Optional[SweepStats]]:
+    """Run a scenario directly, or through the store when ``--store``."""
+    if not args.store:
+        return run_experiment(scenario, convergence_check=args.converge), None
+    outcome = run_jobs(
+        [Job(scenario, RunOptions(convergence_check=args.converge))],
+        store=RunStore(args.store),
+        workers=1,
+        timeout=args.timeout,
+        fresh=args.fresh,
+        progress=print_progress if args.progress else None,
+    )
+    return outcome.results[0], outcome.stats
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     scenario = _base_scenario(args)
-    result = run_experiment(scenario, convergence_check=args.converge)
-    _emit(result, args)
+    result, stats = _run_one(scenario, args)
+    _emit(result, args, stats)
     return 0
 
 
@@ -112,8 +160,8 @@ def _cmd_compete(args: argparse.Namespace) -> int:
     scenario = base.with_overrides(
         groups=groups, name=f"compete-{'-'.join(args.ccas)}"
     )
-    result = run_experiment(scenario, convergence_check=args.converge)
-    _emit(result, args)
+    result, stats = _run_one(scenario, args)
+    _emit(result, args, stats)
     return 0
 
 
@@ -129,6 +177,109 @@ def _cmd_models(args: argparse.Namespace) -> int:
     if args.json:
         json.dump({name: rate for name, rate in rows}, sys.stdout, indent=2)
         print()
+    return 0
+
+
+def _fmt_size(size: int) -> str:
+    value = float(size)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or unit == "GiB":
+            return f"{value:.0f}{unit}" if unit == "B" else f"{value:.1f}{unit}"
+        value /= 1024
+    return f"{size}B"  # pragma: no cover - unreachable
+
+
+def _fmt_when(created: float) -> str:
+    if created <= 0:
+        return "-"
+    return datetime.datetime.fromtimestamp(created).strftime("%Y-%m-%d %H:%M")
+
+
+def _cmd_cache_ls(args: argparse.Namespace) -> int:
+    store = RunStore(args.store)
+    entries = store.ls()
+    if args.json:
+        json.dump([e.to_json() for e in entries], sys.stdout, indent=2)
+        print()
+        return 0
+    if not entries:
+        print(f"store {args.store}: empty")
+        return 0
+    print(f"store {args.store}: {len(entries)} entries (cache v{CACHE_VERSION})")
+    for e in entries:
+        flag = "" if e.version == CACHE_VERSION else f"  [stale v{e.version}]"
+        print(
+            f"{e.key[:12]}  {_fmt_size(e.size):>9s}  wall={e.wall_seconds:7.2f}s  "
+            f"{_fmt_when(e.created)}  {e.name}{flag}"
+        )
+    return 0
+
+
+def _cmd_cache_info(args: argparse.Namespace) -> int:
+    store = RunStore(args.store)
+    matches = store.resolve(args.key)
+    if not matches:
+        print(f"no entry matches key prefix {args.key!r}", file=sys.stderr)
+        return 2
+    if len(matches) > 1:
+        print(
+            f"key prefix {args.key!r} is ambiguous ({len(matches)} matches)",
+            file=sys.stderr,
+        )
+        return 2
+    key = matches[0]
+    meta = store.meta(key)
+    if meta is None:
+        print(f"entry {key} is corrupt (dropped)", file=sys.stderr)
+        return 1
+    if args.json:
+        json.dump(meta, sys.stdout, indent=2)
+        print()
+        return 0
+    for field_name in ("key", "name", "version", "size", "wall_seconds", "events"):
+        print(f"{field_name:14s} {meta.get(field_name, '-')}")
+    print(f"{'created':14s} {_fmt_when(float(meta.get('created', 0.0)))}")
+    payload = store.get(key)
+    summary = getattr(payload, "summary", None)
+    if callable(summary):
+        print(summary())
+    return 0
+
+
+def _cmd_cache_gc(args: argparse.Namespace) -> int:
+    store = RunStore(args.store)
+    report = store.gc(dry_run=args.dry_run, all_versions=args.all_versions)
+    if args.json:
+        json.dump(report.to_json(), sys.stdout, indent=2)
+        print()
+        return 0
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"gc {args.store}: {verb} {len(report.removed)} object(s) "
+        f"({_fmt_size(report.bytes_freed)}), kept {report.kept}"
+    )
+    for path in report.removed:
+        print(f"  - {os.path.basename(path)}")
+    return 0
+
+
+def _cmd_cache_migrate(args: argparse.Namespace) -> int:
+    store = RunStore(args.store)
+    report = migrate_legacy(
+        store,
+        legacy_dir=args.legacy_dir,
+        legacy_version=args.legacy_version,
+        prune=args.prune,
+    )
+    if args.json:
+        json.dump(report.to_json(), sys.stdout, indent=2)
+        print()
+        return 0
+    print(
+        f"migrate {args.store}: {len(report.migrated)} migrated, "
+        f"{len(report.stale)} stale, {len(report.corrupt)} corrupt, "
+        f"{len(report.pruned)} pruned"
+    )
     return 0
 
 
@@ -156,6 +307,16 @@ def _add_experiment_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--mathis", action="store_true",
                    help="fit the Mathis constant from the run")
     p.add_argument("--json", action="store_true", help="emit JSON after the summary")
+    p.add_argument("--store", nargs="?", const=DEFAULT_STORE, default=None,
+                   metavar="DIR",
+                   help="serve/persist the result via the run store at DIR "
+                        f"(DIR defaults to {DEFAULT_STORE} when the flag is bare)")
+    p.add_argument("--fresh", action="store_true",
+                   help="with --store: ignore a stored result and re-simulate")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="with --store: per-run wall-clock limit")
+    p.add_argument("--progress", action="store_true",
+                   help="with --store: print per-job scheduler events")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -179,6 +340,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_models.add_argument("--p", type=float, default=0.001)
     p_models.add_argument("--json", action="store_true")
     p_models.set_defaults(fn=_cmd_models)
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect and maintain the content-addressed result store",
+        description="Operations on a repro run store (see repro.runstore). "
+        "The store location comes from --store, $REPRO_STORE, or "
+        "benchmarks/_cache in that order.",
+    )
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+
+    def _add_store_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--store", default=DEFAULT_STORE, metavar="DIR",
+                       help=f"store root (default: {DEFAULT_STORE})")
+        p.add_argument("--json", action="store_true", help="emit JSON")
+
+    p_ls = cache_sub.add_parser("ls", help="list stored results")
+    _add_store_arg(p_ls)
+    p_ls.set_defaults(fn=_cmd_cache_ls)
+
+    p_info = cache_sub.add_parser("info", help="show one entry's metadata")
+    p_info.add_argument("key", help="full key or unambiguous prefix")
+    _add_store_arg(p_info)
+    p_info.set_defaults(fn=_cmd_cache_info)
+
+    p_gc = cache_sub.add_parser(
+        "gc", help="delete temp leftovers, corrupt objects and stale versions"
+    )
+    _add_store_arg(p_gc)
+    p_gc.add_argument("--dry-run", action="store_true",
+                      help="report what would be removed without removing")
+    p_gc.add_argument("--all-versions", action="store_true",
+                      help="keep entries from older CACHE_VERSIONs")
+    p_gc.set_defaults(fn=_cmd_cache_gc)
+
+    p_migrate = cache_sub.add_parser(
+        "migrate", help="import legacy md5-keyed pickles into the store"
+    )
+    _add_store_arg(p_migrate)
+    p_migrate.add_argument("--legacy-dir", default=None, metavar="DIR",
+                           help="directory holding <md5>.pkl files "
+                                "(default: the store root)")
+    p_migrate.add_argument("--legacy-version", type=int, default=CACHE_VERSION - 1,
+                           help="CACHE_VERSION the legacy keys were minted with")
+    p_migrate.add_argument("--prune", action="store_true",
+                           help="delete the legacy files after processing")
+    p_migrate.set_defaults(fn=_cmd_cache_migrate)
 
     p_lint = sub.add_parser(
         "lint",

@@ -1,24 +1,24 @@
-"""Parameter sweeps with optional process parallelism.
+"""Parameter sweeps on top of the run-store scheduler.
 
 The paper's figures are sweeps over flow count and RTT. Scenarios are
-plain picklable dataclasses, so independent runs can be farmed out to a
-process pool; results come back in input order.
+plain picklable dataclasses, so independent runs are farmed out to a
+process pool by :func:`repro.runstore.scheduler.run_jobs`, which adds
+deduplication, optional result caching, per-job timeouts and bounded
+retry on worker crashes. One failing scenario no longer discards the
+other completed results: a :class:`~repro.runstore.scheduler.SweepError`
+carries every result that did complete (and, with a store attached,
+those results are already persisted on disk).
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence, cast
 
-from .experiment import run_experiment
+from ..runstore.progress import JobEvent, ProgressCallback
+from ..runstore.scheduler import DEFAULT_RETRIES, Job, RunOptions, run_jobs
+from ..runstore.store import RunStore
 from .results import ExperimentResult
 from .scenarios import Scenario
-
-
-def _run_one(args) -> ExperimentResult:
-    scenario, kwargs = args
-    return run_experiment(scenario, **kwargs)
 
 
 def run_sweep(
@@ -27,6 +27,11 @@ def run_sweep(
     record_drop_times: bool = True,
     convergence_check: bool = False,
     progress: Optional[Callable[[ExperimentResult], None]] = None,
+    store: Optional[RunStore] = None,
+    timeout: Optional[float] = None,
+    retries: int = DEFAULT_RETRIES,
+    fresh: bool = False,
+    on_event: Optional[ProgressCallback] = None,
 ) -> List[ExperimentResult]:
     """Run every scenario; returns results in the same order.
 
@@ -37,29 +42,51 @@ def run_sweep(
         ``min(len(scenarios), cpu_count)``; ``1`` (or a single scenario)
         runs inline, which is friendlier for debugging and coverage.
     progress:
-        Optional callback invoked with each finished result (in input
-        order, as results are collected).
+        Optional callback invoked with each finished result. Inline
+        runs report in input order; parallel runs report in completion
+        order (the returned list is always in input order).
+    store:
+        Optional :class:`~repro.runstore.store.RunStore`: previously
+        stored results are served without simulating, and fresh results
+        are persisted as each scenario completes, so an interrupted
+        sweep resumes from what finished.
+    timeout:
+        Per-scenario wall-clock limit in seconds (enforced in-worker).
+    retries:
+        Extra attempts after a worker crash or timeout.
+    fresh:
+        Ignore (and overwrite) stored results.
+    on_event:
+        Optional low-level progress callback receiving every scheduler
+        :class:`~repro.runstore.progress.JobEvent` (hits, retries, ...).
+
+    Raises
+    ------
+    SweepError
+        When any scenario fails terminally. The exception's ``results``
+        attribute holds the completed results (``None`` at failed
+        positions), so callers can keep partial sweeps.
     """
     if not scenarios:
         return []
-    kwargs = {
-        "record_drop_times": record_drop_times,
-        "convergence_check": convergence_check,
-    }
-    if parallel is None:
-        parallel = min(len(scenarios), os.cpu_count() or 1)
-    results: List[ExperimentResult] = []
-    if parallel <= 1 or len(scenarios) == 1:
-        for scenario in scenarios:
-            result = run_experiment(scenario, **kwargs)
-            results.append(result)
-            if progress is not None:
-                progress(result)
-        return results
-    jobs = [(s, kwargs) for s in scenarios]
-    with ProcessPoolExecutor(max_workers=parallel) as pool:
-        for result in pool.map(_run_one, jobs):
-            results.append(result)
-            if progress is not None:
-                progress(result)
-    return results
+    options = RunOptions(
+        record_drop_times=record_drop_times,
+        convergence_check=convergence_check,
+    )
+
+    def _relay(event: JobEvent) -> None:
+        if on_event is not None:
+            on_event(event)
+        if progress is not None and event.kind in ("hit", "done"):
+            progress(cast(ExperimentResult, event.payload))
+
+    outcome = run_jobs(
+        [Job(scenario, options) for scenario in scenarios],
+        store=store,
+        workers=parallel,
+        timeout=timeout,
+        retries=retries,
+        fresh=fresh,
+        progress=_relay if (progress is not None or on_event is not None) else None,
+    )
+    return cast(List[ExperimentResult], outcome.results)

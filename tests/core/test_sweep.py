@@ -46,3 +46,48 @@ def test_parallel_pool_matches_inline():
     assert [
         [f.goodput_bps for f in r.flows] for r in inline
     ] == [[f.goodput_bps for f in r.flows] for r in pooled]
+
+
+def test_parallel_failure_preserves_completed_results():
+    import pytest
+
+    from repro.runstore import SweepError
+
+    good = scenarios(2)
+    bad = Scenario(
+        name="bad",
+        bottleneck_bw_bps=mbps(10),
+        buffer_bytes=100_000,
+        groups=(FlowGroup("no-such-cca", 1, 0.02),),
+        duration=2.0,
+        warmup=0.5,
+        stagger_max=0.0,
+        seed=0,
+    )
+    with pytest.raises(SweepError) as excinfo:
+        run_sweep([good[0], bad, good[1]], parallel=2)
+    err = excinfo.value
+    # One deterministic failure, never retried; the other results survive.
+    assert [f.name for f in err.failures] == ["bad"]
+    assert err.failures[0].kind == "error"
+    assert "unknown CCA" in err.failures[0].error
+    assert err.results[0] is not None and err.results[2] is not None
+    assert err.results[1] is None
+
+
+def test_sweep_with_store_reuses_results(tmp_path):
+    from repro.runstore import RunStore
+
+    store = RunStore(str(tmp_path / "store"))
+    scs = scenarios(2)
+    first = run_sweep(scs, parallel=1, store=store)
+
+    events = []
+    second = run_sweep(scs, parallel=1, store=store, on_event=events.append)
+    assert [e.kind for e in events] == ["hit", "hit"]
+    assert [r.queue_drops for r in first] == [r.queue_drops for r in second]
+
+    # Old-style progress callbacks still receive ExperimentResult objects.
+    seen = []
+    run_sweep(scs, parallel=1, store=store, progress=lambda r: seen.append(r.scenario.name))
+    assert seen == ["s0", "s1"]

@@ -1,0 +1,170 @@
+"""Fault-tolerant scheduler tests: dedup, hits, crash retry, timeouts."""
+
+import pytest
+
+from repro.runstore import (
+    Job,
+    RunOptions,
+    RunStore,
+    SweepError,
+    job_key,
+    run_jobs,
+)
+
+from . import fakes
+from .fakes import scenario
+
+
+def _store(tmp_path):
+    return RunStore(str(tmp_path / "store"))
+
+
+def test_dedup_identical_scenarios_run_once(tmp_path):
+    store = _store(tmp_path)
+    jobs = [Job(scenario(0)), Job(scenario(1)), Job(scenario(0))]
+    out = run_jobs(jobs, store=store, workers=1, run_fn=fakes.quick_run)
+    assert out.stats.jobs == 3
+    assert out.stats.unique == 2
+    assert out.stats.deduplicated == 1
+    assert out.stats.misses == 2 and out.stats.hits == 0
+    assert out.results[0] == out.results[2] == {"name": "s0", "seed": 0}
+    assert out.results[1] == {"name": "s1", "seed": 1}
+
+
+def test_hits_skip_execution_entirely(tmp_path):
+    store = _store(tmp_path)
+    jobs = [Job(scenario(i)) for i in range(2)]
+    run_jobs(jobs, store=store, workers=1, run_fn=fakes.quick_run)
+    # Second pass: run_fn raising proves every job was served from the store.
+    out = run_jobs(jobs, store=store, workers=1, run_fn=fakes.fail_if_called)
+    assert out.stats.hits == 2 and out.stats.misses == 0
+    assert [r["name"] for r in out.results] == ["s0", "s1"]
+
+
+def test_fresh_forces_resimulation(tmp_path):
+    store = _store(tmp_path)
+    jobs = [Job(scenario(i)) for i in range(2)]
+    run_jobs(jobs, store=store, workers=1, run_fn=fakes.quick_run)
+    out = run_jobs(jobs, store=store, workers=1, run_fn=fakes.quick_run, fresh=True)
+    assert out.stats.hits == 0 and out.stats.misses == 2
+
+
+def test_resume_runs_only_missing_keys(tmp_path):
+    store = _store(tmp_path)
+    jobs = [Job(scenario(i)) for i in range(4)]
+    run_jobs(jobs[:2], store=store, workers=1, run_fn=fakes.quick_run)
+    out = run_jobs(jobs, store=store, workers=1, run_fn=fakes.quick_run)
+    assert out.stats.hits == 2 and out.stats.misses == 2
+    assert [r["name"] for r in out.results] == ["s0", "s1", "s2", "s3"]
+
+
+def test_results_are_persisted_per_job(tmp_path):
+    store = _store(tmp_path)
+    run_jobs([Job(scenario(5))], store=store, workers=1, run_fn=fakes.quick_run)
+    assert store.get(job_key(scenario(5))) == {"name": "s5", "seed": 5}
+
+
+def test_deterministic_error_not_retried_and_strict_raises(tmp_path):
+    store = _store(tmp_path)
+    jobs = [Job(scenario(i)) for i in range(4)]  # odd seeds raise
+    with pytest.raises(SweepError) as excinfo:
+        run_jobs(jobs, store=store, workers=1, run_fn=fakes.error_for_odd_seed)
+    err = excinfo.value
+    assert err.stats.retries == 0
+    assert {f.name for f in err.failures} == {"s1", "s3"}
+    assert all(f.kind == "error" and f.attempts == 1 for f in err.failures)
+    # Completed results survive the partial failure.
+    assert err.results[0] == {"name": "s0", "seed": 0}
+    assert err.results[2] == {"name": "s2", "seed": 2}
+    assert err.results[1] is None and err.results[3] is None
+
+
+def test_strict_false_returns_partial_outcome(tmp_path):
+    store = _store(tmp_path)
+    jobs = [Job(scenario(i)) for i in range(2)]
+    out = run_jobs(
+        jobs, store=store, workers=1, run_fn=fakes.error_for_odd_seed, strict=False
+    )
+    assert out.stats.failures == 1
+    assert out.results[0] == {"name": "s0", "seed": 0}
+    assert out.results[1] is None
+
+
+def test_worker_crash_is_retried(tmp_path, monkeypatch):
+    flag_dir = tmp_path / "flags"
+    flag_dir.mkdir()
+    monkeypatch.setenv(fakes.FLAG_DIR_ENV, str(flag_dir))
+    store = _store(tmp_path)
+    jobs = [Job(scenario(i)) for i in range(3)]
+    out = run_jobs(jobs, store=store, workers=2, run_fn=fakes.crash_once, retries=6)
+    assert [r["name"] for r in out.results] == ["s0", "s1", "s2"]
+    assert all(r["recovered"] for r in out.results)
+    assert out.stats.retries >= 3  # every job crashed (at least) once
+    assert out.stats.failures == 0
+    # Results written by retried workers are persisted like any other.
+    assert store.get(job_key(scenario(0)))["recovered"] is True
+
+
+def test_crash_beyond_retry_budget_fails_but_keeps_other_results(tmp_path):
+    store = _store(tmp_path)
+    jobs = [Job(scenario(0)), Job(scenario(1))]  # s1 always crashes
+    with pytest.raises(SweepError) as excinfo:
+        run_jobs(
+            jobs,
+            store=store,
+            workers=2,
+            run_fn=fakes.crash_for_s1,
+            retries=1,
+        )
+    err = excinfo.value
+    assert len(err.failures) == 1
+    assert err.failures[0].name == "s1"
+    assert err.failures[0].kind == "crash"
+    assert err.failures[0].attempts == 2  # initial try + one retry
+    assert err.results[0] == {"name": "s0"}
+    assert err.results[1] is None
+    assert store.get(job_key(scenario(0))) == {"name": "s0"}
+
+
+def test_pool_timeout_fails_job_without_killing_sweep(tmp_path):
+    store = _store(tmp_path)
+    jobs = [Job(scenario(0)), Job(scenario(1), RunOptions())]
+    out = run_jobs(
+        jobs,
+        store=store,
+        workers=2,
+        timeout=1.0,
+        retries=0,
+        strict=False,
+        run_fn=fakes.sleep_for_s1,
+    )
+    assert out.results[0] == {"name": "s0"}
+    assert out.results[1] is None
+    assert out.stats.failures == 1
+
+
+def test_inline_timeout(tmp_path):
+    store = _store(tmp_path)
+    out = run_jobs(
+        [Job(scenario(0, name="s1"))],
+        store=store,
+        workers=1,
+        timeout=0.5,
+        strict=False,
+        run_fn=fakes.sleep_for_s1,
+    )
+    assert out.results == [None]
+    assert out.stats.failures == 1
+
+
+def test_progress_event_stream(tmp_path):
+    store = _store(tmp_path)
+    events = []
+    jobs = [Job(scenario(i)) for i in range(2)]
+    run_jobs(jobs, store=store, workers=1, run_fn=fakes.quick_run, progress=events.append)
+    assert [e.kind for e in events] == ["start", "done", "start", "done"]
+    assert events[1].payload == {"name": "s0", "seed": 0}
+    events.clear()
+    run_jobs(jobs, store=store, workers=1, run_fn=fakes.quick_run, progress=events.append)
+    assert [e.kind for e in events] == ["hit", "hit"]
+    assert all(e.payload is not None for e in events)
