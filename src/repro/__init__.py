@@ -28,12 +28,19 @@ from .core import (
     ExperimentResult,
     FlowGroup,
     FlowResult,
+    RunHealth,
     Scenario,
     competition,
     core_scale,
     edge_scale,
     run_experiment,
     run_sweep,
+)
+from .faults import (
+    FAULT_PRESETS,
+    FaultEvent,
+    FaultSchedule,
+    WatchdogConfig,
 )
 from .models import (
     cubic_throughput,
@@ -76,6 +83,11 @@ __all__ = [
     "run_jobs",
     "ExperimentResult",
     "FlowResult",
+    "RunHealth",
+    "FAULT_PRESETS",
+    "FaultEvent",
+    "FaultSchedule",
+    "WatchdogConfig",
     "Simulator",
     "make_cca",
     "jains_fairness_index",

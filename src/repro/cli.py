@@ -4,8 +4,10 @@ Run single experiments or sweeps from the shell::
 
     repro run --setting core --flows 3000 --cca bbr --scale 50 --duration 60
     repro run --setting edge --flows 30 --cca newreno --store benchmarks/_cache
+    repro run --setting edge --flows 10 --faults blackout
     repro compete --setting core --flows 1000 --ccas bbr cubic --scale 50
     repro models --rtt 0.02 --p 0.001
+    repro faults ls
     repro cache ls
     repro cache gc --dry-run
 
@@ -32,6 +34,7 @@ from .analysis.mathis_fit import fit_mathis
 from .core.experiment import run_experiment
 from .core.results import ExperimentResult
 from .core.scenarios import FlowGroup, Scenario, core_scale, edge_scale
+from .faults import PRESETS, FaultSchedule, WatchdogConfig
 from .lint import ALL_CODES, RULE_SUMMARIES
 from .lint.runner import main as lint_main
 from .models.cubic_model import cubic_throughput
@@ -55,7 +58,7 @@ DEFAULT_STORE = os.environ.get("REPRO_STORE") or os.path.join("benchmarks", "_ca
 
 def _base_scenario(args: argparse.Namespace) -> Scenario:
     if args.setting == "edge":
-        return edge_scale(
+        scenario = edge_scale(
             flows=args.flows,
             cca=args.cca,
             rtt=args.rtt,
@@ -63,15 +66,34 @@ def _base_scenario(args: argparse.Namespace) -> Scenario:
             warmup=args.warmup,
             seed=args.seed,
         )
-    return core_scale(
-        flows=args.flows,
-        cca=args.cca,
-        rtt=args.rtt,
-        scale=args.scale,
-        duration=args.duration,
-        warmup=args.warmup,
-        seed=args.seed,
-    )
+    else:
+        scenario = core_scale(
+            flows=args.flows,
+            cca=args.cca,
+            rtt=args.rtt,
+            scale=args.scale,
+            duration=args.duration,
+            warmup=args.warmup,
+            seed=args.seed,
+        )
+    if getattr(args, "faults", None):
+        try:
+            schedule = FaultSchedule.from_spec(args.faults, scenario.duration)
+            scenario = scenario.with_overrides(faults=schedule.events)
+        except ValueError as exc:
+            print(f"--faults: {exc}", file=sys.stderr)
+            raise SystemExit(2) from exc
+    return scenario
+
+
+def _watchdog_config(args: argparse.Namespace) -> Optional[WatchdogConfig]:
+    """Watchdog for ``repro run``: explicit budget wins; any faulted run
+    gets the default config so it degrades instead of hanging."""
+    if getattr(args, "stall_budget", None) is not None:
+        return WatchdogConfig(stall_budget=args.stall_budget)
+    if getattr(args, "faults", None):
+        return WatchdogConfig()
+    return None
 
 
 def _result_json(result: ExperimentResult) -> Dict[str, Any]:
@@ -93,6 +115,7 @@ def _result_json(result: ExperimentResult) -> Dict[str, Any]:
             }
             for f in result.flows
         ],
+        "health": result.health.to_json() if result.health is not None else None,
     }
 
 
@@ -127,10 +150,25 @@ def _run_one(
     scenario: Scenario, args: argparse.Namespace
 ) -> Tuple[ExperimentResult, Optional[SweepStats]]:
     """Run a scenario directly, or through the store when ``--store``."""
+    watchdog = _watchdog_config(args)
+    max_events = getattr(args, "max_events", None)
     if not args.store:
-        return run_experiment(scenario, convergence_check=args.converge), None
+        return (
+            run_experiment(
+                scenario,
+                convergence_check=args.converge,
+                watchdog=watchdog,
+                max_events=max_events,
+            ),
+            None,
+        )
+    options = RunOptions(
+        convergence_check=args.converge,
+        watchdog=watchdog,
+        max_events=max_events,
+    )
     outcome = run_jobs(
-        [Job(scenario, RunOptions(convergence_check=args.converge))],
+        [Job(scenario, options)],
         store=RunStore(args.store),
         workers=1,
         timeout=args.timeout,
@@ -283,6 +321,28 @@ def _cmd_cache_migrate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults_ls(args: argparse.Namespace) -> int:
+    duration = args.duration
+    if args.json:
+        payload = [
+            {
+                "name": preset.name,
+                "summary": preset.summary,
+                "schedule": preset.describe(duration),
+            }
+            for preset in PRESETS.values()
+        ]
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+        return 0
+    print(f"fault presets (schedules shown for a {duration:g}s run):")
+    for preset in PRESETS.values():
+        print(f"  {preset.name:12s} {preset.summary}")
+        print(f"  {'':12s} {preset.describe(duration)}")
+    print('combine presets with raw tokens: --faults "blackout,rtt@20+1=4"')
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         for code in ALL_CODES:
@@ -304,6 +364,16 @@ def _add_experiment_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--converge", action="store_true",
                    help="enable the paper's early-stop convergence rule")
+    p.add_argument("--faults", default=None, metavar="SPEC",
+                   help="inject faults: comma-separated presets and/or "
+                        "kind@time[+duration][=value] tokens "
+                        "(see 'repro faults ls')")
+    p.add_argument("--stall-budget", type=float, default=None, metavar="SECONDS",
+                   help="arm the stall watchdog with this per-flow budget "
+                        "in simulated seconds (implied, at its default, "
+                        "by --faults)")
+    p.add_argument("--max-events", type=int, default=None, metavar="N",
+                   help="override the event-budget safety valve")
     p.add_argument("--mathis", action="store_true",
                    help="fit the Mathis constant from the run")
     p.add_argument("--json", action="store_true", help="emit JSON after the summary")
@@ -334,6 +404,20 @@ def build_parser() -> argparse.ArgumentParser:
     _add_experiment_args(p_compete)
     p_compete.add_argument("--ccas", nargs="+", default=["bbr", "newreno"])
     p_compete.set_defaults(fn=_cmd_compete)
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="inspect the fault-injection presets",
+        description="Deterministic fault schedules for chaos runs "
+        "(repro.faults); presets feed 'repro run --faults <name>'.",
+    )
+    faults_sub = p_faults.add_subparsers(dest="faults_command", required=True)
+    p_faults_ls = faults_sub.add_parser("ls", help="list named fault presets")
+    p_faults_ls.add_argument("--duration", type=float, default=30.0,
+                             help="scenario duration the example schedules "
+                                  "are scaled to")
+    p_faults_ls.add_argument("--json", action="store_true", help="emit JSON")
+    p_faults_ls.set_defaults(fn=_cmd_faults_ls)
 
     p_models = sub.add_parser("models", help="print analytic model predictions")
     p_models.add_argument("--rtt", type=float, default=0.020)

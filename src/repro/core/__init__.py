@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from .experiment import run_experiment
-from .results import ExperimentResult, FlowResult
+from .experiment import default_event_budget, run_experiment
+from .results import ExperimentResult, FlowResult, RunHealth
 from .scenarios import (
     CORE_FLOW_COUNTS,
     DEFAULT_CORE_SCALE,
@@ -25,8 +25,10 @@ __all__ = [
     "competition",
     "run_experiment",
     "run_sweep",
+    "default_event_budget",
     "ExperimentResult",
     "FlowResult",
+    "RunHealth",
     "EDGE_FLOW_COUNTS",
     "CORE_FLOW_COUNTS",
     "RTT_SWEEP",

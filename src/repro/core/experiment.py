@@ -13,27 +13,70 @@ Given a :class:`~repro.core.scenarios.Scenario`, :func:`run_experiment`:
    window);
 5. returns an :class:`~repro.core.results.ExperimentResult` with
    per-flow goodput, loss, halving counts and queue-level drop records.
+
+Robustness
+----------
+Every run is guarded by an event budget (``max_events``, defaulting to
+:func:`default_event_budget`) that catches zero-sim-time livelock, and
+may additionally arm a :class:`~repro.faults.watchdog.SimWatchdog`
+(``watchdog=``) that catches per-flow delivery stalls. When the
+watchdog aborts — or the budget trips with a watchdog armed — the run
+returns a *partial* result whose ``health`` record carries the stalled
+flows, the fault timeline and the truncation time. Budget exhaustion
+without a watchdog raises :class:`~repro.sim.engine.SimulationError`.
+
+Deterministic fault injection (:mod:`repro.faults`) is driven either by
+the scenario's own ``faults`` field or an explicit ``fault_schedule=``
+override; the injector's RNG derives solely from the scenario seed, so
+faulted runs are bit-reproducible and cacheable.
 """
 
 from __future__ import annotations
 
 import random
-import time
-from typing import List
+from typing import List, Optional
 
 from ..analysis.convergence import ConvergenceTracker
+from ..faults.injector import FaultInjector
+from ..faults.schedule import FaultSchedule
+from ..faults.watchdog import SimWatchdog, WatchdogConfig
 from ..instrumentation.flowmon import FlowMonitor
 from ..instrumentation.queuemon import QueueMonitor
 from ..instrumentation.tcpprobe import CwndProbe
-from ..sim.engine import Simulator
+from ..sim.engine import SimulationError, Simulator
 from ..sim.queue import DropTailQueue, Queue, REDQueue
 from ..sim.topology import FlowSpec, build_dumbbell
 from ..tcp.cca import CCA_REGISTRY
 from ..tcp.cca.base import CongestionControl
 from ..tcp.cca.bbr import Bbr
 from ..tcp.cca.bbr2 import Bbr2
-from .results import ExperimentResult, FlowResult
+from ..units import MSS
+from .results import ExperimentResult, FlowResult, RunHealth
 from .scenarios import Scenario
+
+#: XORed into the scenario seed for the fault injector's RNG, so the
+#: fault stream is independent of the flow-setup stream: adding faults
+#: never perturbs the draws an unfaulted run would make.
+_FAULT_SEED_SALT = 0xFA17
+
+
+def default_event_budget(scenario: Scenario) -> int:
+    """Default ``max_events`` safety valve for one scenario run.
+
+    Sized from first principles with a wide margin: a saturated
+    bottleneck forwards ``bw / (8 * MSS)`` packets per second and each
+    packet costs a handful of events (enqueue, dequeue, link finish,
+    delivery, ACK path, timers), so 200 events per packet-second plus a
+    generous per-flow and fixed allowance is orders of magnitude above
+    any legitimate run while still finite — a livelocked event loop
+    spinning at a frozen clock hits it quickly.
+    """
+    packets_per_second = scenario.bottleneck_bw_bps / (8.0 * MSS)
+    return int(
+        200.0 * scenario.duration * packets_per_second
+        + 50_000 * scenario.total_flows
+        + 1_000_000
+    )
 
 
 def _make_cca(name: str, rng: random.Random) -> CongestionControl:
@@ -60,6 +103,9 @@ def run_experiment(
     convergence_check: bool = False,
     convergence_window_fraction: float = 0.25,
     convergence_tolerance: float = 0.01,
+    fault_schedule: Optional[FaultSchedule] = None,
+    watchdog: Optional[WatchdogConfig] = None,
+    max_events: Optional[int] = None,
 ) -> ExperimentResult:
     """Run one scenario to completion and collect all measurements.
 
@@ -73,6 +119,18 @@ def run_experiment(
         aggregate delivered throughput changes by less than
         ``convergence_tolerance`` over ``convergence_window_fraction``
         of the post-warm-up duration.
+    fault_schedule:
+        Fault timeline to inject; overrides ``scenario.faults``. Prefer
+        putting faults on the scenario so they participate in run-store
+        cache keys.
+    watchdog:
+        Arm a :class:`~repro.faults.watchdog.SimWatchdog` with this
+        config: flows with no delivery progress for a stall budget are
+        recorded in ``result.health``, and once every runnable flow is
+        stalled the run aborts into a partial result instead of
+        spinning until the event budget.
+    max_events:
+        Override the :func:`default_event_budget` safety valve.
     """
     rng = random.Random(scenario.seed)
     sim = Simulator()
@@ -112,52 +170,107 @@ def run_experiment(
     senders = [flow.sender for flow in dumbbell.flows]
     flow_mon = FlowMonitor(sim, senders)
 
+    schedule = fault_schedule
+    if schedule is None and scenario.faults:
+        schedule = FaultSchedule(scenario.faults)
+    injector: Optional[FaultInjector] = None
+    if schedule is not None and schedule.events:
+        injector = FaultInjector(
+            sim,
+            schedule,
+            dumbbell,
+            rng=random.Random(scenario.seed ^ _FAULT_SEED_SALT),
+        )
+        injector.arm()
+
+    dog: Optional[SimWatchdog] = None
+    if watchdog is not None:
+        dog = SimWatchdog(
+            sim, flow_mon, [spec.start_time for spec in specs], config=watchdog
+        )
+        dog.arm()
+
+    budget = max_events if max_events is not None else default_event_budget(scenario)
+    if budget <= 0:
+        raise ValueError("max_events must be positive")
+
+    def _interrupt_reason() -> str:
+        """Why the last ``sim.run`` stopped short of its target."""
+        if dog is not None and dog.aborted:
+            return dog.abort_reason or "stall"
+        if sim.events_processed >= budget:
+            return "event_budget"
+        return ""
+
     dumbbell.start_all()
-    # Intentional host-clock read: measures real runtime for the
-    # wall_seconds report; never feeds the simulated clock.
-    wall_start = time.perf_counter()  # repro-lint: disable=RPR001
-    sim.run(until=scenario.warmup)
-    flow_mon.open_window()
+    reason = ""
+    sim.run(until=scenario.warmup, max_events=budget)
+    if sim.now < scenario.warmup:
+        reason = _interrupt_reason()
 
-    if convergence_check:
-        measured_span = scenario.duration - scenario.warmup
-        window = max(convergence_window_fraction * measured_span, 1e-9)
-        tracker = ConvergenceTracker(window, convergence_tolerance)
-        tick = max(measured_span / 60.0, 1e-3)
-        stop_at = {"time": scenario.duration}
+    if not reason:
+        flow_mon.open_window()
+        if convergence_check:
+            measured_span = scenario.duration - scenario.warmup
+            window = max(convergence_window_fraction * measured_span, 1e-9)
+            tracker = ConvergenceTracker(window, convergence_tolerance)
+            tick = max(measured_span / 60.0, 1e-3)
+            stop_at = {"time": scenario.duration}
 
-        history: List[tuple] = [(sim.now, sum(s.snd_una for s in senders))]
+            history: List[tuple] = [(sim.now, sum(s.snd_una for s in senders))]
 
-        def _sample() -> None:
-            # Track throughput averaged over the trailing half-window so
-            # the tolerance applies to a smoothed rate (the paper's
-            # 20-minute metric is similarly smooth), not to per-tick
-            # noise from individual loss events.
-            delivered = sum(s.snd_una for s in senders)
-            now = sim.now
-            history.append((now, delivered))
-            horizon = now - window / 2.0
-            while len(history) > 2 and history[1][0] <= horizon:
-                history.pop(0)
-            t0, d0 = history[0]
-            rate = (delivered - d0) / (now - t0) if now > t0 else 0.0
-            if tracker.observe(now, rate):
-                stop_at["time"] = min(stop_at["time"], now)
-                return
-            if now + tick <= scenario.duration:
-                sim.schedule(tick, _sample)
+            def _sample() -> None:
+                # Track throughput averaged over the trailing half-window so
+                # the tolerance applies to a smoothed rate (the paper's
+                # 20-minute metric is similarly smooth), not to per-tick
+                # noise from individual loss events.
+                delivered = sum(s.snd_una for s in senders)
+                now = sim.now
+                history.append((now, delivered))
+                horizon = now - window / 2.0
+                while len(history) > 2 and history[1][0] <= horizon:
+                    history.pop(0)
+                t0, d0 = history[0]
+                rate = (delivered - d0) / (now - t0) if now > t0 else 0.0
+                if tracker.observe(now, rate):
+                    stop_at["time"] = min(stop_at["time"], now)
+                    return
+                if now + tick <= scenario.duration:
+                    sim.schedule(tick, _sample)
 
-        sim.schedule(tick, _sample)
-        # Run in slices so an early convergence verdict ends the run.
-        while sim.now < stop_at["time"]:
-            sim.run(until=min(sim.now + tick, stop_at["time"]))
-    else:
-        sim.run(until=scenario.duration)
+            sim.schedule(tick, _sample)
+            # Run in slices so an early convergence verdict ends the run.
+            while sim.now < stop_at["time"]:
+                sim.run(until=min(sim.now + tick, stop_at["time"]), max_events=budget)
+                if sim.now < stop_at["time"]:
+                    reason = _interrupt_reason()
+                    if reason:
+                        break
+        else:
+            sim.run(until=scenario.duration, max_events=budget)
+            if sim.now < scenario.duration:
+                reason = _interrupt_reason()
 
     flow_mon.close_window()
-    # Intentional host-clock read: closes the wall_seconds measurement.
-    wall_seconds = time.perf_counter() - wall_start  # repro-lint: disable=RPR001
-    measured_duration = sim.now - scenario.warmup
+
+    if reason == "event_budget" and dog is None:
+        raise SimulationError(
+            f"event budget exhausted at t={sim.now:.3f}s "
+            f"({sim.events_processed} events >= {budget}): the run may be "
+            "livelocked. Raise the budget with max_events=, or arm a "
+            "watchdog (watchdog=WatchdogConfig(...)) to degrade into a "
+            "partial result instead of failing."
+        )
+
+    # A truncated run may never have opened the measurement window (abort
+    # during warm-up) or closed it at zero width; report zero goodput for
+    # such windows rather than failing.
+    window_open = (
+        flow_mon.window_start is not None
+        and flow_mon.window_end is not None
+        and flow_mon.window_end > flow_mon.window_start
+    )
+    measured_duration = sim.now - scenario.warmup if window_open else 0.0
 
     flows: List[FlowResult] = []
     for flow, probe, cca_name in zip(dumbbell.flows, probes, cca_names):
@@ -168,8 +281,10 @@ def run_experiment(
                 cca=cca_name,
                 base_rtt=flow.spec.rtt,
                 measured_rtt=sender.rtt.srtt,
-                goodput_bps=flow_mon.goodput_bps(flow.flow_id),
-                delivered_packets=flow_mon.delivered_packets(flow.flow_id),
+                goodput_bps=flow_mon.goodput_bps(flow.flow_id) if window_open else 0.0,
+                delivered_packets=(
+                    flow_mon.delivered_packets(flow.flow_id) if window_open else 0
+                ),
                 packets_sent=sender.stats.packets_sent,
                 retransmits=sender.stats.retransmits,
                 halvings=probe.halvings,
@@ -177,6 +292,16 @@ def run_experiment(
                 queue_drops=queue_mon.drops_by_flow.get(flow.flow_id, 0),
                 queue_arrivals=queue_mon.arrivals_by_flow.get(flow.flow_id, 0),
             )
+        )
+
+    health: Optional[RunHealth] = None
+    if injector is not None or dog is not None:
+        health = RunHealth(
+            ok=not reason,
+            reason=reason,
+            truncated_at=sim.now if reason else None,
+            stalled_flows=sorted(dog.stalled_flows) if dog is not None else [],
+            fault_timeline=list(injector.timeline) if injector is not None else [],
         )
 
     return ExperimentResult(
@@ -187,5 +312,5 @@ def run_experiment(
         queue_arrivals=queue_mon.arrivals_total,
         drop_times=list(queue_mon.drop_times),
         events_processed=sim.events_processed,
-        wall_seconds=wall_seconds,
+        health=health,
     )

@@ -3,13 +3,65 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..analysis.fairness import jains_fairness_index
 from ..analysis.mathis_fit import FlowObservation
 from ..analysis.throughput import group_shares
 from ..units import MSS
 from .scenarios import Scenario
+
+
+@dataclass
+class RunHealth:
+    """Run-integrity record attached to faulted / watchdog-guarded runs.
+
+    Schema (see DESIGN.md §9):
+
+    - ``ok`` — ``True`` when the run reached its configured duration;
+      ``False`` when it was truncated by the watchdog or event budget.
+    - ``reason`` — why a truncated run stopped: ``"stall"`` (every
+      runnable flow went a stall budget without delivery progress) or
+      ``"event_budget"`` (the ``max_events`` safety valve tripped,
+      catching zero-sim-time livelock). Empty for a completed run.
+    - ``truncated_at`` — simulated time at truncation (``None`` for a
+      completed run). Per-flow measurements cover warm-up → this time.
+    - ``stalled_flows`` — flow ids with no delivery progress for a full
+      stall budget at the last watchdog check (may be non-empty even
+      when ``ok``: a sweep degrades per-flow, not per-job).
+    - ``fault_timeline`` — ``(sim_time, description)`` audit trail of
+      every fault the injector applied or restored.
+    """
+
+    ok: bool = True
+    reason: str = ""
+    truncated_at: Optional[float] = None
+    stalled_flows: List[int] = field(default_factory=list)
+    fault_timeline: List[Tuple[float, str]] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "reason": self.reason,
+            "truncated_at": self.truncated_at,
+            "stalled_flows": list(self.stalled_flows),
+            "fault_timeline": [[t, d] for t, d in self.fault_timeline],
+        }
+
+    def describe(self) -> str:
+        """One human-readable line (appended to result summaries)."""
+        if self.ok:
+            state = "ok"
+        else:
+            state = f"TRUNCATED at t={self.truncated_at:.2f}s ({self.reason})"
+        bits = [f"health: {state}"]
+        if self.stalled_flows:
+            ids = ",".join(str(f) for f in self.stalled_flows[:8])
+            more = "..." if len(self.stalled_flows) > 8 else ""
+            bits.append(f"stalled=[{ids}{more}]")
+        if self.fault_timeline:
+            bits.append(f"faults={len(self.fault_timeline)} event(s)")
+        return " ".join(bits)
 
 
 @dataclass
@@ -72,6 +124,9 @@ class ExperimentResult:
     drop_times: List[float] = field(default_factory=list)
     events_processed: int = 0
     wall_seconds: float = 0.0
+    # Plain class-level default (not a factory) so instances unpickled
+    # from pre-fault-subsystem stores fall back to the class attribute.
+    health: Optional[RunHealth] = None
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -131,4 +186,7 @@ class ExperimentResult:
         ]
         for name, share in sorted(self.shares().items()):
             lines.append(f"  {name}: share={share:.2%} jfi={self.jfi(name):.3f}")
+        health = getattr(self, "health", None)
+        if health is not None:
+            lines.append(f"  {health.describe()}")
         return "\n".join(lines)

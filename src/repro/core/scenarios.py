@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Tuple
 
+from ..faults.schedule import FaultEvent
 from ..units import bdp_bytes, gbps, mbps, megabytes
 
 #: Flow-count sweep points from the paper.
@@ -67,6 +68,12 @@ class Scenario:
     #: Breaks the drop-tail phase-locking a deterministic simulator
     #: otherwise exhibits (physical testbeds desynchronise naturally).
     ack_jitter_fraction: float = 0.02
+    #: Deterministic fault schedule applied during the run (see
+    #: :mod:`repro.faults`). Part of the scenario — and therefore of the
+    #: run-store cache key — because faults change the result. An empty
+    #: tuple is omitted from the canonical key form so unfaulted
+    #: scenarios keep their pre-fault-subsystem cache keys.
+    faults: Tuple[FaultEvent, ...] = ()
 
     def __post_init__(self) -> None:
         if self.bottleneck_bw_bps <= 0:
@@ -81,6 +88,14 @@ class Scenario:
             raise ValueError("stagger_max must be non-negative")
         if not 0.0 <= self.ack_jitter_fraction < 1.0:
             raise ValueError("ack_jitter_fraction must be in [0, 1)")
+        for event in self.faults:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(f"faults must be FaultEvent instances, got {event!r}")
+            if event.time >= self.duration:
+                raise ValueError(
+                    f"fault {event.describe()!r} starts at t={event.time:g}s, "
+                    f"beyond the {self.duration:g}s run"
+                )
 
     @property
     def total_flows(self) -> int:

@@ -1,0 +1,59 @@
+"""Deterministic fault injection & graceful-degradation hardening.
+
+The subsystem has four layers:
+
+- :mod:`repro.faults.schedule` — declarative, picklable
+  :class:`FaultSchedule`/:class:`FaultEvent` records (link blackout,
+  bandwidth reduction, RTT step/spike, Gilbert–Elliott burst loss,
+  buffer resize), a ``--faults`` spec grammar, and the named presets;
+- :mod:`repro.faults.gilbert` — the two-state correlated-loss channel;
+- :mod:`repro.faults.injector` — turns a schedule into simulator events
+  against a built dumbbell, recording an auditable timeline;
+- :mod:`repro.faults.watchdog` — per-flow stall detection that aborts a
+  dead run into a *partial* result instead of hanging.
+
+Faults live on the :class:`~repro.core.scenarios.Scenario` (``faults=``)
+and therefore participate in the run-store cache key; every RNG involved
+derives from the scenario seed, so chaos runs are exactly as
+reproducible and cacheable as steady ones::
+
+    from repro.core.scenarios import edge_scale
+    from repro.core.experiment import run_experiment
+    from repro.faults import PRESETS, WatchdogConfig
+
+    sc = edge_scale(flows=10)
+    sc = sc.with_overrides(faults=PRESETS["blackout"].build(sc.duration))
+    result = run_experiment(sc, watchdog=WatchdogConfig(stall_budget=10.0))
+    print(result.health.describe())
+"""
+
+from __future__ import annotations
+
+from .gilbert import GilbertElliott
+from .injector import FaultInjector
+from .schedule import (
+    DEFAULT_GE_TRANSITIONS,
+    FAULT_KINDS,
+    PRESETS,
+    FaultEvent,
+    FaultPreset,
+    FaultSchedule,
+)
+from .watchdog import SimWatchdog, WatchdogConfig
+
+#: Top-level alias (``repro.FAULT_PRESETS``) for the preset registry.
+FAULT_PRESETS = PRESETS
+
+__all__ = [
+    "DEFAULT_GE_TRANSITIONS",
+    "FAULT_KINDS",
+    "FAULT_PRESETS",
+    "PRESETS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPreset",
+    "FaultSchedule",
+    "GilbertElliott",
+    "SimWatchdog",
+    "WatchdogConfig",
+]

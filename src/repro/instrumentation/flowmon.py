@@ -10,7 +10,7 @@ record an interval time series for convergence detection (the paper's
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..sim.engine import Simulator
 from ..tcp.connection import TcpSender
@@ -50,6 +50,19 @@ class FlowMonitor:
         self.sample_times.append(self.sim.now)
         self.samples.append([s.snd_una for s in self.senders])
         self.sim.schedule(self.sample_interval, self._tick)
+
+    def progress_marks(self) -> Dict[int, Tuple[int, int]]:
+        """Per-flow ``(delivered, acks_received)`` counters, keyed by id.
+
+        The stall signature :class:`repro.faults.watchdog.SimWatchdog`
+        samples: both counters frozen means no delivery progress — unlike
+        ``packets_sent``, which keeps growing while a sender retransmits
+        into a dead link.
+        """
+        return {
+            s.flow_id: (s.delivered_packets, s.stats.acks_received)
+            for s in self.senders
+        }
 
     def open_window(self) -> None:
         """Start the measurement window (call at the end of warm-up)."""

@@ -66,8 +66,18 @@ def canonical_json(obj: Any) -> str:
 
 
 def scenario_to_canonical(scenario: Scenario) -> Dict[str, Any]:
-    """A scenario as the plain dict that gets hashed (and displayed)."""
-    return dataclasses.asdict(scenario)
+    """A scenario as the plain dict that gets hashed (and displayed).
+
+    Key stability: ``Scenario.faults`` was added after v8 shipped. An
+    empty schedule leaves the simulation identical to a pre-fault
+    scenario, so it is omitted from the canonical form — every legacy v8
+    key stays valid without a version bump, while any non-empty schedule
+    (serialised event list) hashes into the key as usual.
+    """
+    data = dataclasses.asdict(scenario)
+    if not data.get("faults"):
+        data.pop("faults", None)
+    return data
 
 
 def job_key(

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
 #: Event kinds, in lifecycle order.
-EVENT_KINDS = ("hit", "start", "done", "retry", "failed")
+EVENT_KINDS = ("hit", "start", "done", "degraded", "retry", "failed")
 
 ProgressCallback = Callable[["JobEvent"], None]
 
@@ -27,6 +27,9 @@ class JobEvent:
     - ``"start"``  — job submitted for execution (attempt ``attempt``);
     - ``"done"``   — simulation finished and (if a store is attached)
       its result was persisted;
+    - ``"degraded"`` — like ``done``, but the run was truncated by its
+      watchdog or event budget; the (partial) result carries a
+      ``health`` record explaining why;
     - ``"retry"``  — a worker crash or timeout consumed one attempt and
       the job was resubmitted;
     - ``"failed"`` — the job exhausted its attempts (or failed
@@ -53,8 +56,8 @@ class JobEvent:
 
     def render(self) -> str:
         """One human-readable progress line."""
-        bits = [f"[{self.kind:>6s}]", self.name or self.key[:12]]
-        if self.kind in ("done", "failed", "retry") and self.attempt > 1:
+        bits = [f"[{self.kind:>8s}]", self.name or self.key[:12]]
+        if self.kind in ("done", "degraded", "failed", "retry") and self.attempt > 1:
             bits.append(f"attempt={self.attempt}")
         if self.wall_seconds > 0.0:
             bits.append(f"wall={self.wall_seconds:.2f}s")
@@ -73,6 +76,7 @@ class SweepStats:
     unique: int = 0          #: distinct cache keys among them
     hits: int = 0            #: unique keys served from the store
     misses: int = 0          #: unique keys that had to simulate
+    degraded: int = 0        #: simulated keys truncated by watchdog/budget
     retries: int = 0         #: attempts consumed by crashes/timeouts
     failures: int = 0        #: unique keys that produced no result
     wall_seconds: float = 0.0  #: summed per-job simulation wall time
@@ -95,8 +99,10 @@ class SweepStats:
         """Fold one event into the counters."""
         if event.kind == "hit":
             self.hits += 1
-        elif event.kind == "done":
+        elif event.kind in ("done", "degraded"):
             self.misses += 1
+            if event.kind == "degraded":
+                self.degraded += 1
             self.wall_seconds += event.wall_seconds
             self.events += event.events
         elif event.kind == "retry":
@@ -110,6 +116,7 @@ class SweepStats:
         self.unique += other.unique
         self.hits += other.hits
         self.misses += other.misses
+        self.degraded += other.degraded
         self.retries += other.retries
         self.failures += other.failures
         self.wall_seconds += other.wall_seconds
@@ -123,6 +130,7 @@ class SweepStats:
             "deduplicated": self.deduplicated,
             "hits": self.hits,
             "misses": self.misses,
+            "degraded": self.degraded,
             "retries": self.retries,
             "failures": self.failures,
             "wall_seconds": self.wall_seconds,
@@ -141,6 +149,8 @@ class SweepStats:
         ]
         if self.deduplicated:
             bits.append(f"deduped={self.deduplicated}")
+        if self.degraded:
+            bits.append(f"degraded={self.degraded}")
         if self.retries:
             bits.append(f"retries={self.retries}")
         if self.failures:

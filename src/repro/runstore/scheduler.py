@@ -31,6 +31,7 @@ infrastructure faults only (worker crashes and timeouts).
 
 from __future__ import annotations
 
+import dataclasses
 import os
 import signal
 import time
@@ -42,6 +43,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..core.experiment import run_experiment
 from ..core.scenarios import Scenario
+from ..faults.watchdog import WatchdogConfig
 from .keys import CACHE_VERSION, job_key
 from .progress import JobEvent, ProgressCallback, SweepStats
 from .store import RunStore
@@ -54,20 +56,40 @@ DEFAULT_RETRIES = 2
 
 @dataclass(frozen=True)
 class RunOptions:
-    """The ``run_experiment`` keyword options that shape a result."""
+    """The ``run_experiment`` keyword options that shape a result.
+
+    ``watchdog`` and ``max_events`` default to ``None`` and are omitted
+    from both the kwargs and the canonical (hashed) form when unset, so
+    pre-existing cache keys are unaffected by their introduction.
+    """
 
     record_drop_times: bool = True
     convergence_check: bool = False
+    watchdog: Optional[WatchdogConfig] = None
+    max_events: Optional[int] = None
 
     def to_kwargs(self) -> Dict[str, Any]:
-        return {
+        kwargs: Dict[str, Any] = {
             "record_drop_times": self.record_drop_times,
             "convergence_check": self.convergence_check,
         }
+        if self.watchdog is not None:
+            kwargs["watchdog"] = self.watchdog
+        if self.max_events is not None:
+            kwargs["max_events"] = self.max_events
+        return kwargs
 
     def to_canonical(self) -> Dict[str, Any]:
         """The dict hashed into the cache key."""
-        return self.to_kwargs()
+        canonical: Dict[str, Any] = {
+            "record_drop_times": self.record_drop_times,
+            "convergence_check": self.convergence_check,
+        }
+        if self.watchdog is not None:
+            canonical["watchdog"] = dataclasses.asdict(self.watchdog)
+        if self.max_events is not None:
+            canonical["max_events"] = self.max_events
+        return canonical
 
 
 @dataclass(frozen=True)
@@ -146,6 +168,9 @@ class _Outcome:
     events: int = 0
     result: Any = None
     error: str = ""
+    #: Run completed but was truncated by its watchdog/event budget
+    #: (the result is partial and carries a ``health`` record).
+    degraded: bool = False
 
 
 def _run_with_timeout(
@@ -195,21 +220,28 @@ def _execute(
         )
     wall = time.perf_counter() - start  # repro-lint: disable=RPR001
     events = int(getattr(result, "events_processed", 0))
-    outcome = _Outcome("ok", key, wall_seconds=wall, events=events, result=result)
+    health = getattr(result, "health", None)
+    degraded = health is not None and not health.ok
+    outcome = _Outcome(
+        "ok", key, wall_seconds=wall, events=events, result=result,
+        degraded=degraded,
+    )
     if store_root is not None:
         # Persist from the worker so a later parent death cannot lose
         # this result; a failed write degrades to a cache miss next run.
+        # Degraded (watchdog/budget-truncated) partial results are stored
+        # too: the truncation is deterministic, so a re-run would only
+        # reproduce the same partial result the slow way.
+        meta: Dict[str, Any] = {
+            "name": scenario.name,
+            "version": version,
+            "wall_seconds": wall,
+            "events": events,
+        }
+        if degraded:
+            meta["health_reason"] = health.reason
         try:
-            RunStore(store_root).put(
-                key,
-                result,
-                meta={
-                    "name": scenario.name,
-                    "version": version,
-                    "wall_seconds": wall,
-                    "events": events,
-                },
-            )
+            RunStore(store_root).put(key, result, meta=meta)
         except Exception as exc:  # pragma: no cover - disk-full etc.
             outcome.error = f"result not persisted: {exc!r}"
     return outcome
@@ -289,9 +321,12 @@ def run_jobs(
         """Record a terminal ok/timeout/error outcome."""
         if outcome.status == "ok":
             _fill(key, outcome.result)
+            health = getattr(outcome.result, "health", None)
             _emit(JobEvent(
-                "done", key, _name(key), attempt=attempt,
+                "degraded" if outcome.degraded else "done",
+                key, _name(key), attempt=attempt,
                 wall_seconds=outcome.wall_seconds, events=outcome.events,
+                error=health.reason if outcome.degraded and health else "",
                 payload=outcome.result,
             ))
         else:

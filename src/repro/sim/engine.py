@@ -76,7 +76,9 @@ class Simulator:
         self._heap: List[Event] = []
         self._seq = 0
         self._running = False
+        self._stop_requested = False
         self._events_processed = 0
+        self._seed_seq = 0
         #: Active invariant checker, or ``None`` when sanitizing is off.
         #: Components wire themselves to it at construction time.
         self.sanitizer: Optional[SimSanitizer] = maybe_sanitizer(self, sanitize)
@@ -120,6 +122,28 @@ class Simulator:
         event[_FN] = None
         event[_ARGS] = ()
 
+    def next_seed(self, salt: int = 0) -> int:
+        """Deterministic per-simulator seed stream for component RNGs.
+
+        Components that need a default RNG (e.g. :class:`~repro.sim.netem.
+        NetemDelay` when the caller supplies none) draw a seed here instead
+        of hard-coding one: successive calls yield distinct values, so two
+        elements never share an RNG sequence, while the stream itself is a
+        pure function of construction order — reproducible run to run.
+        """
+        self._seed_seq += 1
+        return (self._seed_seq * 0x9E3779B1 ^ salt) & 0xFFFFFFFF
+
+    def stop(self) -> None:
+        """Ask a running :meth:`run` loop to return after the current event.
+
+        The clock is left wherever the loop stopped (it is *not* advanced
+        to ``until``), so callers can distinguish an early stop from
+        natural completion by comparing ``now`` against their target time.
+        Used by watchdogs to abort a run cleanly from inside an event.
+        """
+        self._stop_requested = True
+
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run the event loop.
 
@@ -135,6 +159,7 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
+        self._stop_requested = False
         heap = self._heap
         pop = heapq.heappop
         processed = self._events_processed
@@ -159,6 +184,8 @@ class Simulator:
                 event[_ARGS] = ()
                 fn(*args)
                 processed += 1
+                if self._stop_requested:
+                    break
                 if budget is not None:
                     budget -= 1
                     if budget <= 0:
@@ -166,7 +193,8 @@ class Simulator:
         finally:
             self._events_processed = processed
             self._running = False
-        if until is not None and self.now < until:
+        stopped_early = self._stop_requested or (budget is not None and budget <= 0)
+        if until is not None and self.now < until and not stopped_early:
             self.now = until
 
     def step(self) -> bool:

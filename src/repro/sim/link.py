@@ -30,6 +30,16 @@ class Sink(Protocol):
     def send(self, packet: Packet) -> None: ...
 
 
+class LossModel(Protocol):
+    """A per-packet drop decision, consulted before a packet enters an
+    element (e.g. the Gilbert–Elliott burst-loss channel in
+    :mod:`repro.faults.gilbert`). Stateful models advance their state on
+    every call, so the decision sequence is part of the run's seed-derived
+    determinism."""
+
+    def should_drop(self, packet: Packet) -> bool: ...
+
+
 class DelayLink:
     """A fixed propagation delay with unlimited bandwidth.
 
@@ -65,6 +75,19 @@ class Link:
     accounting and listener notification). The transmitter serialises one
     packet at a time at ``rate_bps`` and delivers it to ``sink`` after an
     additional propagation ``delay``.
+
+    Fault hooks (used by :mod:`repro.faults`):
+
+    - :meth:`set_down` / :meth:`set_up` — a blackout. While down, the
+      queue keeps accepting arrivals (and overflows naturally once full)
+      but the transmitter is paused; a transmission already serialising
+      when the link goes down still completes, exactly like a cable cut
+      behind a store-and-forward switch port.
+    - :meth:`set_rate` — bandwidth reduction/restoration; takes effect
+      from the next serialisation.
+    - :attr:`loss_model` — an optional channel-loss element consulted on
+      every arrival *before* the queue, so channel losses are accounted
+      separately (``impaired_drops``) from congestion drops.
     """
 
     def __init__(
@@ -86,18 +109,46 @@ class Link:
         self.queue = queue if queue is not None else DropTailQueue(queue_capacity_bytes)
         self.sink = sink
         self.busy = False
+        self.up = True
         self.transmitted_packets = 0
         self.transmitted_bytes = 0
+        #: Packets dropped by the channel-loss model (not queue drops).
+        self.impaired_drops = 0
+        self.loss_model: Optional[LossModel] = None
         if sim.sanitizer is not None:
             sim.sanitizer.watch_queue(self.queue)
 
     def send(self, packet: Packet) -> None:
         """Offer a packet to the link (entry point for upstream elements)."""
+        if self.loss_model is not None and self.loss_model.should_drop(packet):
+            self.impaired_drops += 1
+            return
         if self.queue.offer(self.sim.now, packet):
-            if not self.busy:
+            if not self.busy and self.up:
                 self._start_next()
 
+    def set_down(self) -> None:
+        """Take the link down (blackout). Idempotent."""
+        self.up = False
+
+    def set_up(self) -> None:
+        """Restore a downed link and resume draining the queue."""
+        if self.up:
+            return
+        self.up = True
+        if not self.busy:
+            self._start_next()
+
+    def set_rate(self, rate_bps: float) -> None:
+        """Change the link rate; applies from the next serialisation."""
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        self.rate_bps = rate_bps
+
     def _start_next(self) -> None:
+        if not self.up:
+            self.busy = False
+            return
         packet = self.queue.poll(self.sim.now)
         if packet is None:
             self.busy = False

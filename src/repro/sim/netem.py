@@ -13,7 +13,7 @@ import random
 from typing import Optional
 
 from .engine import Simulator
-from .link import Sink
+from .link import LossModel, Sink
 from .packet import Packet
 
 
@@ -31,6 +31,14 @@ class NetemDelay:
         reorder protection.
     loss_rate:
         Probability in [0, 1) of silently dropping each packet.
+    rng:
+        The element's RNG. Callers on the experiment path derive this
+        from the scenario/flow seed (see ``build_dumbbell``); when
+        omitted, a seed is drawn from the owning simulator's
+        deterministic seed stream (:meth:`Simulator.next_seed`) so that
+        two elements never share a sequence. (Previously every default
+        instance used the same fixed seed, which perfectly correlated
+        loss/jitter across flows.)
     """
 
     def __init__(
@@ -54,11 +62,33 @@ class NetemDelay:
         self.loss_rate = loss_rate
         self.sink = sink
         self.dropped_packets = 0
-        self._rng = rng or random.Random(0x4E45)
+        #: Channel-loss element (e.g. Gilbert–Elliott burst loss),
+        #: consulted before the independent ``loss_rate`` draw.
+        self.loss_model: Optional[LossModel] = None
+        self._rng = rng or random.Random(sim.next_seed(0x4E45))
+
+    def set_delay(self, delay: float, jitter: Optional[float] = None) -> None:
+        """Change the base delay (fault-injection hook: RTT step/spike).
+
+        ``jitter`` defaults to the current jitter clamped to the new
+        delay, preserving the construction-time invariant. Packets
+        already in flight keep the delay they were scheduled with.
+        """
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        if jitter is None:
+            jitter = min(self.jitter, delay)
+        if jitter < 0 or jitter > delay:
+            raise ValueError("jitter must be in [0, delay]")
+        self.delay = delay
+        self.jitter = jitter
 
     def send(self, packet: Packet) -> None:
         if self.sink is None:
             raise RuntimeError("NetemDelay has no sink attached")
+        if self.loss_model is not None and self.loss_model.should_drop(packet):
+            self.dropped_packets += 1
+            return
         if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
             self.dropped_packets += 1
             return

@@ -80,6 +80,31 @@ class Queue:
             self.sanitizer.on_dequeue(self, packet)
         return packet
 
+    def set_capacity(self, capacity_bytes: int, now: float = 0.0) -> None:
+        """Resize the buffer (fault-injection hook).
+
+        Shrinking evicts from the *tail* (newest arrivals first) until the
+        backlog fits, with full drop accounting — reconfiguring a real
+        switch port buffer discards the overflow the same way. Eviction
+        happens before the capacity is updated so the occupancy-within-
+        capacity invariant holds at every step.
+        """
+        if capacity_bytes <= 0:
+            raise ValueError("queue capacity must be positive")
+        while self._items and self.occupancy_bytes > capacity_bytes:
+            packet = self._evict_tail()
+            self.occupancy_bytes -= packet.size
+            self.dropped_packets += 1
+            if self.sanitizer is not None:
+                self.sanitizer.on_queue_drop(self, packet)
+            if self.drop_listener is not None:
+                self.drop_listener(now, packet)
+        self.capacity_bytes = capacity_bytes
+
+    def _evict_tail(self) -> Packet:
+        """Remove and return the newest queued packet (resize eviction)."""
+        return self._items.pop()
+
     def _admit(self, now: float, packet: Packet) -> bool:
         raise NotImplementedError
 
@@ -125,6 +150,15 @@ class REDQueue(Queue):
         self.avg_bytes = 0.0
         self._count_since_drop = -1
         self._rng = rng or random.Random(0x52ED)
+
+    def set_capacity(self, capacity_bytes: int, now: float = 0.0) -> None:
+        """Resize, rescaling both RED thresholds proportionally."""
+        ratio = capacity_bytes / self.capacity_bytes
+        super().set_capacity(capacity_bytes, now)
+        self.min_thresh = max(1, int(self.min_thresh * ratio))
+        self.max_thresh = min(
+            capacity_bytes, max(self.min_thresh + 1, int(self.max_thresh * ratio))
+        )
 
     def _admit(self, now: float, packet: Packet) -> bool:
         if self.occupancy_bytes + packet.size > self.capacity_bytes:
@@ -191,6 +225,10 @@ class CoDelQueue(Queue):
             return False
         self._enqueue_times.append(now)
         return True
+
+    def _evict_tail(self) -> Packet:
+        self._enqueue_times.pop()
+        return self._items.pop()
 
     def _pop(self) -> Optional[Packet]:
         if not self._items:

@@ -178,3 +178,46 @@ def test_clock_does_not_go_backwards():
         sim.schedule(delay, lambda: times.append(sim.now))
     sim.run()
     assert times == sorted(times)
+
+
+def test_stop_ends_run_without_advancing_to_until():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.schedule(5.0, fired.append, 5)
+    sim.run(until=10.0)
+    assert fired == [1]
+    assert sim.now == 1.0  # clock left where the stop happened
+    sim.run()  # a later run proceeds normally
+    assert fired == [1, 5]
+
+
+def test_stop_outside_run_does_not_poison_next_run():
+    sim = Simulator()
+    sim.stop()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.run()
+    assert fired == [1]
+
+
+def test_max_events_budget_is_cumulative_across_runs():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(0.1, forever)
+
+    sim.schedule(0.0, forever)
+    sim.run(max_events=50)
+    sim.run(max_events=100)
+    assert sim.events_processed == 100
+
+
+def test_next_seed_stream_is_distinct_and_reproducible():
+    sim_a = Simulator()
+    sim_b = Simulator()
+    seeds_a = [sim_a.next_seed(0x4E45) for _ in range(32)]
+    seeds_b = [sim_b.next_seed(0x4E45) for _ in range(32)]
+    assert seeds_a == seeds_b  # pure function of construction order
+    assert len(set(seeds_a)) == 32  # no two components share a seed
+    assert sim_a.next_seed(0) != sim_a.next_seed(0)

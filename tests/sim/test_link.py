@@ -145,3 +145,93 @@ def test_link_validation():
         Link(sim, rate_bps=0)
     with pytest.raises(ValueError):
         Link(sim, rate_bps=1e6, delay=-0.1)
+
+
+class EveryOtherLoss:
+    """Deterministic LossModel: drops every second packet."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def should_drop(self, packet):
+        self.calls += 1
+        return self.calls % 2 == 0
+
+
+def test_link_down_pauses_transmitter_and_up_resumes():
+    sim = Simulator()
+    sink = Collector(sim)
+    link = Link(sim, rate_bps=12_000, sink=sink)  # 1 s per 1500 B packet
+    link.set_down()
+    for seq in range(3):
+        link.send(Packet.data(0, seq))
+    sim.run(until=1.0)
+    assert sink.received == []  # nothing serialises while down
+    assert len(link.queue) == 3  # ...but the queue kept accepting
+    link.set_up()
+    sim.run()
+    assert [p.seq for _, p in sink.received] == [0, 1, 2]
+
+
+def test_link_down_lets_inflight_packet_complete():
+    sim = Simulator()
+    sink = Collector(sim)
+    link = Link(sim, rate_bps=12_000, sink=sink)
+    link.send(Packet.data(0, 0))  # starts serialising immediately
+    link.send(Packet.data(0, 1))
+    sim.schedule(0.5, link.set_down)  # mid-serialisation of seq 0
+    sim.run()
+    assert [p.seq for _, p in sink.received] == [0]  # in-flight completes
+    assert len(link.queue) == 1  # seq 1 stranded behind the blackout
+
+
+def test_link_down_overflows_queue_naturally():
+    sim = Simulator()
+    sink = Collector(sim)
+    link = Link(sim, rate_bps=12_000, sink=sink, queue=DropTailQueue(3000))
+    link.set_down()
+    for seq in range(5):
+        link.send(Packet.data(0, seq))
+    assert len(link.queue) == 2
+    assert link.queue.dropped_packets == 3
+
+
+def test_set_down_and_up_are_idempotent():
+    sim = Simulator()
+    sink = Collector(sim)
+    link = Link(sim, rate_bps=12_000, sink=sink)
+    link.set_up()  # already up: no-op
+    link.set_down()
+    link.set_down()
+    link.set_up()
+    link.send(Packet.data(0, 0))
+    sim.run()
+    assert len(sink.received) == 1
+
+
+def test_set_rate_applies_from_next_serialisation():
+    sim = Simulator()
+    sink = Collector(sim)
+    link = Link(sim, rate_bps=12_000, sink=sink)
+    link.send(Packet.data(0, 0))
+    link.send(Packet.data(0, 1))
+    link.set_rate(6_000)  # halve the rate; seq 0 already serialising at full
+    sim.run()
+    times = [t for t, _ in sink.received]
+    assert times[0] == pytest.approx(1.0)  # old rate
+    assert times[1] == pytest.approx(3.0)  # 1.0 + 2 s at the halved rate
+    with pytest.raises(ValueError):
+        link.set_rate(0)
+
+
+def test_loss_model_drops_before_queue():
+    sim = Simulator()
+    sink = Collector(sim)
+    link = Link(sim, rate_bps=12_000, sink=sink)
+    link.loss_model = EveryOtherLoss()
+    for seq in range(6):
+        link.send(Packet.data(0, seq))
+    sim.run()
+    assert link.impaired_drops == 3
+    assert link.queue.dropped_packets == 0  # channel loss, not congestion
+    assert [p.seq for _, p in sink.received] == [0, 2, 4]

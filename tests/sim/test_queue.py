@@ -108,3 +108,41 @@ class TestRed:
             REDQueue(1000, min_thresh_bytes=800, max_thresh_bytes=700)
         with pytest.raises(ValueError):
             REDQueue(1000, max_p=0.0)
+
+
+class TestSetCapacity:
+    def test_grow_keeps_backlog(self):
+        q = DropTailQueue(3000)
+        assert q.offer(0.0, pkt()) and q.offer(0.0, pkt())
+        q.set_capacity(6000)
+        assert q.capacity_bytes == 6000
+        assert len(q) == 2 and q.dropped_packets == 0
+        assert q.offer(0.0, pkt()) and q.offer(0.0, pkt())
+
+    def test_shrink_evicts_newest_first_with_accounting(self):
+        q = DropTailQueue(6000)
+        drops = []
+        q.drop_listener = lambda now, p: drops.append((now, p.seq))
+        for seq in range(4):
+            q.offer(0.0, Packet.data(0, seq, 1500))
+        q.set_capacity(3000, now=2.5)
+        assert q.occupancy_bytes == 3000
+        assert q.dropped_packets == 2
+        assert drops == [(2.5, 3), (2.5, 2)]  # tail (newest) evicted first
+        # survivors keep FIFO order
+        assert [q.poll().seq, q.poll().seq] == [0, 1]
+
+    def test_shrink_validation(self):
+        q = DropTailQueue(3000)
+        with pytest.raises(ValueError):
+            q.set_capacity(0)
+
+    def test_red_rescales_thresholds(self):
+        q = REDQueue(100_000, rng=random.Random(1))
+        min0, max0 = q.min_thresh, q.max_thresh
+        q.set_capacity(50_000)
+        assert q.min_thresh == min0 // 2
+        assert q.max_thresh == max0 // 2
+        assert 0 < q.min_thresh < q.max_thresh <= q.capacity_bytes
+        q.set_capacity(100_000)
+        assert 0 < q.min_thresh < q.max_thresh <= q.capacity_bytes

@@ -121,3 +121,71 @@ def test_lint_missing_path_is_usage_error(tmp_path, capsys):
     err = capsys.readouterr().err
     assert code == 2
     assert "no such file or directory" in err
+
+def test_faults_ls(capsys):
+    code, out = run_cli(capsys, "faults", "ls")
+    assert code == 0
+    for name in ("blackout", "flap", "rtt-spike", "burst-loss"):
+        assert name in out
+
+
+def test_faults_ls_json(capsys):
+    code, out = run_cli(capsys, "faults", "ls", "--json", "--duration", "12")
+    assert code == 0
+    payload = json.loads(out[out.index("["):])
+    assert {entry["name"] for entry in payload} == {
+        "blackout", "flap", "rtt-spike", "burst-loss",
+    }
+    for entry in payload:
+        assert entry["schedule"]  # every preset expands to >=1 event
+
+
+def test_run_with_faults_reports_health(capsys):
+    code, out = run_cli(
+        capsys,
+        "run", "--setting", "edge", "--flows", "2", "--duration", "6",
+        "--warmup", "1", "--faults", "down@2+1", "--json",
+    )
+    assert code == 0
+    payload = json.loads(out[out.index("{"):])
+    health = payload["health"]
+    assert health["ok"] is True
+    assert [entry for _, entry in health["fault_timeline"]] == [
+        "link down", "link up",
+    ]
+    assert payload["scenario"]["faults"]
+
+
+def test_run_without_faults_has_null_health(capsys):
+    code, out = run_cli(
+        capsys,
+        "run", "--setting", "edge", "--flows", "2", "--duration", "3",
+        "--warmup", "1", "--json",
+    )
+    assert code == 0
+    payload = json.loads(out[out.index("{"):])
+    assert payload["health"] is None
+
+
+def test_run_faults_with_stall_budget_truncates_dead_run(capsys):
+    code, out = run_cli(
+        capsys,
+        "run", "--setting", "edge", "--flows", "2", "--duration", "60",
+        "--warmup", "1", "--faults", "down@2", "--stall-budget", "6",
+        "--json",
+    )
+    assert code == 0
+    payload = json.loads(out[out.index("{"):])
+    health = payload["health"]
+    assert health["ok"] is False
+    assert health["reason"] == "stall"
+    assert health["stalled_flows"] == [0, 1]
+    assert health["truncated_at"] < 60.0
+
+
+def test_run_bad_fault_spec_is_usage_error(capsys):
+    with pytest.raises(SystemExit):
+        main([
+            "run", "--setting", "edge", "--flows", "2", "--duration", "3",
+            "--warmup", "1", "--faults", "asteroid@1",
+        ])
