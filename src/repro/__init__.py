@@ -48,6 +48,12 @@ from .models import (
     padhye_throughput,
     predict_bbr_share,
 )
+from .obs import (
+    EventBus,
+    MetricsRegistry,
+    SimProfiler,
+    TraceRecorder,
+)
 from .runstore import (
     CACHE_VERSION,
     Job,
@@ -90,6 +96,10 @@ __all__ = [
     "WatchdogConfig",
     "Simulator",
     "make_cca",
+    "EventBus",
+    "MetricsRegistry",
+    "SimProfiler",
+    "TraceRecorder",
     "jains_fairness_index",
     "burstiness_score",
     "fit_mathis",

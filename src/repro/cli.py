@@ -6,6 +6,7 @@ Run single experiments or sweeps from the shell::
     repro run --setting edge --flows 30 --cca newreno --store benchmarks/_cache
     repro run --setting edge --flows 10 --faults blackout
     repro compete --setting core --flows 1000 --ccas bbr cubic --scale 50
+    repro profile --setting edge --flows 30 --cca cubic --top 10
     repro models --rtt 0.02 --p 0.001
     repro faults ls
     repro cache ls
@@ -40,6 +41,7 @@ from .lint.runner import main as lint_main
 from .models.cubic_model import cubic_throughput
 from .models.mathis import mathis_throughput
 from .models.padhye import padhye_throughput
+from .obs import EventBus, SimProfiler, TraceRecorder, write_trace_jsonl
 from .runstore import (
     CACHE_VERSION,
     Job,
@@ -148,20 +150,39 @@ def _emit(
 
 def _run_one(
     scenario: Scenario, args: argparse.Namespace
-) -> Tuple[ExperimentResult, Optional[SweepStats]]:
-    """Run a scenario directly, or through the store when ``--store``."""
+) -> Tuple[ExperimentResult, Optional[SweepStats], Optional[SimProfiler]]:
+    """Run a scenario directly, or through the store when ``--store``.
+
+    ``--profile`` and ``--trace`` attach in-process observers (a
+    :class:`SimProfiler` / a bus-fed :class:`TraceRecorder`), so they
+    only work on the direct path: with ``--store`` the simulation runs
+    in a worker process the parent's observers cannot see into.
+    """
     watchdog = _watchdog_config(args)
     max_events = getattr(args, "max_events", None)
+    profile = bool(getattr(args, "profile", False))
+    trace_path = getattr(args, "trace", None)
+    if args.store and (profile or trace_path):
+        print("--profile/--trace require a direct run (drop --store)",
+              file=sys.stderr)
+        raise SystemExit(2)
     if not args.store:
-        return (
-            run_experiment(
-                scenario,
-                convergence_check=args.converge,
-                watchdog=watchdog,
-                max_events=max_events,
-            ),
-            None,
+        profiler = SimProfiler() if profile else None
+        bus = recorder = None
+        if trace_path:
+            bus = EventBus()
+            recorder = TraceRecorder(bus, start_time=scenario.warmup)
+        result = run_experiment(
+            scenario,
+            convergence_check=args.converge,
+            watchdog=watchdog,
+            max_events=max_events,
+            bus=bus,
+            profiler=profiler,
         )
+        if recorder is not None:
+            write_trace_jsonl(recorder, trace_path, result=result)
+        return result, None, profiler
     options = RunOptions(
         convergence_check=args.converge,
         watchdog=watchdog,
@@ -175,13 +196,15 @@ def _run_one(
         fresh=args.fresh,
         progress=print_progress if args.progress else None,
     )
-    return outcome.results[0], outcome.stats
+    return outcome.results[0], outcome.stats, None
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     scenario = _base_scenario(args)
-    result, stats = _run_one(scenario, args)
+    result, stats, profiler = _run_one(scenario, args)
     _emit(result, args, stats)
+    if profiler is not None:
+        print(profiler.report())
     return 0
 
 
@@ -198,8 +221,26 @@ def _cmd_compete(args: argparse.Namespace) -> int:
     scenario = base.with_overrides(
         groups=groups, name=f"compete-{'-'.join(args.ccas)}"
     )
-    result, stats = _run_one(scenario, args)
+    result, stats, profiler = _run_one(scenario, args)
     _emit(result, args, stats)
+    if profiler is not None:
+        print(profiler.report())
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run one scenario under the simulator profiler and print the
+    per-handler event counts and wall-time table. Profiling is
+    observation-only: the result is byte-identical to an unprofiled run."""
+    if args.store:
+        print("profile always runs directly; drop --store", file=sys.stderr)
+        return 2
+    args.profile = True
+    scenario = _base_scenario(args)
+    result, _, profiler = _run_one(scenario, args)
+    _emit(result, args, None)
+    assert profiler is not None
+    print(profiler.report(top=args.top))
     return 0
 
 
@@ -376,6 +417,13 @@ def _add_experiment_args(p: argparse.ArgumentParser) -> None:
                    help="override the event-budget safety valve")
     p.add_argument("--mathis", action="store_true",
                    help="fit the Mathis constant from the run")
+    p.add_argument("--profile", action="store_true",
+                   help="profile the simulator (per-handler event counts "
+                        "and wall time; results stay byte-identical)")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="export a structured JSONL event trace "
+                        "(cwnd/enqueue/drop/fault rows plus the run "
+                        "health record) to FILE")
     p.add_argument("--json", action="store_true", help="emit JSON after the summary")
     p.add_argument("--store", nargs="?", const=DEFAULT_STORE, default=None,
                    metavar="DIR",
@@ -404,6 +452,19 @@ def build_parser() -> argparse.ArgumentParser:
     _add_experiment_args(p_compete)
     p_compete.add_argument("--ccas", nargs="+", default=["bbr", "newreno"])
     p_compete.set_defaults(fn=_cmd_compete)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run one experiment under the simulator profiler",
+        description="Like 'repro run', but always profiles the event "
+        "loop and prints the per-handler count/wall-time table. "
+        "Profiling is observation-only, so the printed result is "
+        "byte-identical to an unprofiled run of the same scenario.",
+    )
+    _add_experiment_args(p_profile)
+    p_profile.add_argument("--top", type=int, default=None, metavar="N",
+                           help="only show the N most expensive handlers")
+    p_profile.set_defaults(fn=_cmd_profile)
 
     p_faults = sub.add_parser(
         "faults",

@@ -43,6 +43,8 @@ from ..faults.watchdog import SimWatchdog, WatchdogConfig
 from ..instrumentation.flowmon import FlowMonitor
 from ..instrumentation.queuemon import QueueMonitor
 from ..instrumentation.tcpprobe import CwndProbe
+from ..obs.bus import EventBus
+from ..obs.profiler import SimProfiler
 from ..sim.engine import SimulationError, Simulator
 from ..sim.queue import DropTailQueue, Queue, REDQueue
 from ..sim.topology import FlowSpec, build_dumbbell
@@ -106,6 +108,8 @@ def run_experiment(
     fault_schedule: Optional[FaultSchedule] = None,
     watchdog: Optional[WatchdogConfig] = None,
     max_events: Optional[int] = None,
+    bus: Optional[EventBus] = None,
+    profiler: Optional[SimProfiler] = None,
 ) -> ExperimentResult:
     """Run one scenario to completion and collect all measurements.
 
@@ -131,9 +135,24 @@ def run_experiment(
         spinning until the event budget.
     max_events:
         Override the :func:`default_event_budget` safety valve.
+    bus:
+        An :class:`~repro.obs.bus.EventBus` to wire the run's
+        instrumentation through. All built-in observers (cwnd probes,
+        queue monitor, watchdog, fault injector) ride this bus, so
+        callers can subscribe additional consumers — trace recorders,
+        metrics samplers — before the run without touching any
+        component. A private bus is created when none is given.
+    profiler:
+        A :class:`~repro.obs.profiler.SimProfiler` to install on the
+        simulator. Profiling is observation-only: the returned result
+        is byte-identical with or without it.
     """
     rng = random.Random(scenario.seed)
     sim = Simulator()
+    if profiler is not None:
+        profiler.install(sim)
+    if bus is None:
+        bus = EventBus()
 
     specs: List[FlowSpec] = []
     cca_names: List[str] = []
@@ -161,12 +180,21 @@ def run_experiment(
         delayed_ack=scenario.delayed_ack,
     )
 
+    # All instrumentation observes through the event bus: one forwarder
+    # per sender/queue, any number of subscribers behind it.
+    for flow in dumbbell.flows:
+        bus.bind_sender(flow.sender)
+    bus.bind_queue(queue)
+
     queue_mon = QueueMonitor(
-        queue, record_drop_times=record_drop_times, start_time=scenario.warmup
+        queue, record_drop_times=record_drop_times, start_time=scenario.warmup,
+        bus=bus,
     )
-    probes = [
-        CwndProbe(flow.sender, start_time=scenario.warmup) for flow in dumbbell.flows
-    ]
+    probes = []
+    for flow in dumbbell.flows:
+        probe = CwndProbe(start_time=scenario.warmup)
+        probe.subscribe(bus, flow.flow_id)
+        probes.append(probe)
     senders = [flow.sender for flow in dumbbell.flows]
     flow_mon = FlowMonitor(sim, senders)
 
@@ -180,13 +208,15 @@ def run_experiment(
             schedule,
             dumbbell,
             rng=random.Random(scenario.seed ^ _FAULT_SEED_SALT),
+            bus=bus,
         )
         injector.arm()
 
     dog: Optional[SimWatchdog] = None
     if watchdog is not None:
         dog = SimWatchdog(
-            sim, flow_mon, [spec.start_time for spec in specs], config=watchdog
+            sim, flow_mon, [spec.start_time for spec in specs], config=watchdog,
+            bus=bus,
         )
         dog.arm()
 

@@ -15,8 +15,9 @@ Everything the injector does is recorded in ``timeline`` as
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
+from ..obs.bus import EventBus
 from ..sim.engine import Simulator
 from ..sim.link import DelayLink
 from ..sim.netem import NetemDelay
@@ -45,11 +46,16 @@ class FaultInjector:
         schedule: FaultSchedule,
         dumbbell: Dumbbell,
         rng: random.Random,
+        bus: Optional[EventBus] = None,
     ) -> None:
+        """``bus`` mirrors every timeline entry onto the ``fault`` topic
+        so live observers (trace recorders, dashboards) see faults as
+        they are applied, not only in the post-run audit trail."""
         self.sim = sim
         self.schedule = schedule
         self.dumbbell = dumbbell
         self._rng = rng
+        self._bus = bus
         self.timeline: List[Tuple[float, str]] = []
         self._armed = False
         link = dumbbell.bottleneck
@@ -77,6 +83,8 @@ class FaultInjector:
 
     def _record(self, description: str) -> None:
         self.timeline.append((self.sim.now, description))
+        if self._bus is not None:
+            self._bus.publish("fault", self.sim.now, description)
 
     def _apply(self, event: FaultEvent) -> None:
         handler = getattr(self, f"_apply_{event.kind}")

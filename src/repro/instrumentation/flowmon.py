@@ -30,7 +30,13 @@ class FlowMonitor:
         senders: Sequence[TcpSender],
         payload_bytes: int = MSS,
         sample_interval: Optional[float] = None,
+        max_samples: Optional[int] = None,
     ) -> None:
+        """``max_samples`` bounds the recorded series: when set, the
+        retained samples are decimated (every other one dropped, the
+        sampling stride doubled) whenever the cap is reached, so memory
+        stays O(max_samples) over arbitrarily long runs while coverage
+        still spans the whole run — 5000-flow CoreScale runs need this."""
         self.sim = sim
         self.senders = list(senders)
         self.payload_bytes = payload_bytes
@@ -41,15 +47,42 @@ class FlowMonitor:
         self.sample_interval = sample_interval
         self.sample_times: List[float] = []
         self.samples: List[List[int]] = []  # snd_una snapshots per tick
+        self.max_samples = max_samples
+        self._sample_stride = 1
+        self._ticks = 0
+        self._sampling_stopped = False
+        if max_samples is not None and max_samples < 2:
+            raise ValueError("max_samples must be at least 2")
         if sample_interval is not None:
             if sample_interval <= 0:
                 raise ValueError("sample_interval must be positive")
             sim.schedule(sample_interval, self._tick)
 
     def _tick(self) -> None:
-        self.sample_times.append(self.sim.now)
-        self.samples.append([s.snd_una for s in self.senders])
+        # Stop once the measurement window has closed or every finite
+        # flow has completed: an immortal tick would otherwise keep the
+        # event heap alive forever, burning the run's max_events budget
+        # and growing `samples` without bound.
+        if self._sampling_stopped or self.window_end is not None:
+            self._sampling_stopped = True
+            return
+        tick_index = self._ticks
+        self._ticks += 1
+        if tick_index % self._sample_stride == 0:
+            self.sample_times.append(self.sim.now)
+            self.samples.append([s.snd_una for s in self.senders])
+            if self.max_samples is not None and len(self.samples) >= self.max_samples:
+                self.sample_times = self.sample_times[::2]
+                self.samples = self.samples[::2]
+                self._sample_stride *= 2
+        if self.senders and all(s.completed for s in self.senders):
+            self._sampling_stopped = True
+            return
         self.sim.schedule(self.sample_interval, self._tick)
+
+    def stop_sampling(self) -> None:
+        """Stop the periodic series (any pending tick becomes a no-op)."""
+        self._sampling_stopped = True
 
     def progress_marks(self) -> Dict[int, Tuple[int, int]]:
         """Per-flow ``(delivered, acks_received)`` counters, keyed by id.

@@ -12,19 +12,28 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Optional
 
+from ..obs.bus import EventBus
 from ..sim.engine import Simulator
 from ..sim.packet import Packet
 from ..sim.queue import Queue
 
 
 class QueueMonitor:
-    """Counts and timestamps arrivals and drops at a bottleneck queue."""
+    """Counts and timestamps arrivals and drops at a bottleneck queue.
+
+    Observes either through direct (chained) queue listeners — the
+    default — or, when ``bus`` is given, through ``enqueue``/``drop``
+    subscriptions on an :class:`~repro.obs.bus.EventBus` the queue has
+    been bound to; either way the monitor coexists with any number of
+    other observers.
+    """
 
     def __init__(
         self,
         queue: Queue,
         record_drop_times: bool = True,
         start_time: float = 0.0,
+        bus: Optional[EventBus] = None,
     ) -> None:
         self.queue = queue
         self.record_drop_times = record_drop_times
@@ -34,8 +43,12 @@ class QueueMonitor:
         self.drops_by_flow: Dict[int, int] = defaultdict(int)
         self.arrivals_by_flow: Dict[int, int] = defaultdict(int)
         self.drop_times: List[float] = []
-        queue.drop_listener = self._on_drop
-        queue.enqueue_listener = self._on_enqueue
+        if bus is not None:
+            bus.subscribe("drop", self._on_drop)
+            bus.subscribe("enqueue", self._on_enqueue)
+        else:
+            queue.add_drop_listener(self._on_drop)
+            queue.add_enqueue_listener(self._on_enqueue)
 
     def _on_drop(self, now: float, packet: Packet) -> None:
         if now < self.start_time:

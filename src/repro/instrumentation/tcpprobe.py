@@ -1,17 +1,23 @@
 """tcpprobe-style congestion window instrumentation.
 
 The paper measures the CWND halving rate with the Linux ``tcpprobe``
-module. :class:`CwndProbe` is the simulator equivalent: it attaches to a
-:class:`~repro.tcp.connection.TcpSender`'s ``cwnd_listener`` hook and
-records every window event, counting multiplicative decreases exactly
-(one per fast-recovery entry, one per RTO) rather than inferring them
-from sampled cwnd values as tcpprobe post-processing must.
+module. :class:`CwndProbe` is the simulator equivalent: it observes a
+:class:`~repro.tcp.connection.TcpSender`'s cwnd events — either chained
+directly onto the sender (:meth:`CwndProbe.attach`) or through an
+:class:`~repro.obs.bus.EventBus` subscription
+(:meth:`CwndProbe.subscribe`) — and records every window event,
+counting multiplicative decreases exactly (one per fast-recovery entry,
+one per RTO) rather than inferring them from sampled cwnd values as
+tcpprobe post-processing must. Any number of other observers (stall
+watchdog, metrics samplers, trace recorders) can watch the same sender
+concurrently.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Callable, List, Optional, Tuple
 
+from ..obs.bus import EventBus
 from ..tcp.connection import TcpSender
 
 #: (time, kind, cwnd) tuples; kind in {"ack", "loss_event", "rto", "recovery_exit"}.
@@ -44,12 +50,43 @@ class CwndProbe:
         self.recovery_exits = 0
         self.samples: List[CwndEvent] = []
         self.last_cwnd: float = 0.0
+        self._attached_sender: Optional[TcpSender] = None
+        self._bus_handle: Optional[Callable[..., None]] = None
         if sender is not None:
             self.attach(sender)
 
     def attach(self, sender: TcpSender) -> None:
-        """Install this probe on ``sender`` (replaces any existing probe)."""
-        sender.cwnd_listener = self.on_event
+        """Chain this probe onto ``sender``.
+
+        The probe coexists with every other listener on the sender;
+        attaching never displaces an existing observer (the old
+        single-slot semantics silently did).
+        """
+        if self._attached_sender is not None:
+            raise RuntimeError("probe already attached; detach() it first")
+        sender.add_cwnd_listener(self.on_event)
+        self._attached_sender = sender
+
+    def detach(self) -> None:
+        """Remove this probe from the sender it is attached to."""
+        if self._attached_sender is None:
+            raise RuntimeError("probe is not attached")
+        self._attached_sender.remove_cwnd_listener(self.on_event)
+        self._attached_sender = None
+
+    def subscribe(self, bus: EventBus, flow: int) -> None:
+        """Observe one flow's cwnd events through an event bus.
+
+        The per-flow subscription keeps dispatch O(1) per event no
+        matter how many flows (and probes) share the bus.
+        """
+        if self._bus_handle is not None:
+            raise RuntimeError("probe already subscribed to a bus")
+
+        def on_bus_event(now: float, flow_id: int, kind: str, cwnd: float) -> None:
+            self.on_event(now, kind, cwnd)
+
+        self._bus_handle = bus.subscribe("cwnd", on_bus_event, flow=flow)
 
     def on_event(self, now: float, kind: str, cwnd: float) -> None:
         self.last_cwnd = cwnd

@@ -1,0 +1,52 @@
+"""Observability: event bus, metrics, profiler, structured traces.
+
+The measurement layer the paper's analysis rides on (DESIGN.md §10):
+
+- :class:`EventBus` — multi-subscriber typed topics replacing the old
+  single-slot ``cwnd_listener``/``drop_listener`` hooks;
+- :class:`MetricsRegistry` — counters, gauges, bounded histograms and
+  decimating ring-buffer time series (O(1) memory per metric);
+- :class:`SimProfiler` — per-handler event counts and wall time,
+  guaranteed not to perturb results;
+- :class:`TraceRecorder` — bounded structured event capture with JSONL
+  export, including run-health/fault timelines for degraded runs.
+"""
+
+from __future__ import annotations
+
+from .bus import TOPICS, EventBus
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+)
+from .profiler import HandlerProfile, SimProfiler, handler_name
+from .tracing import (
+    DEFAULT_TOPICS,
+    TraceRecorder,
+    health_rows,
+    read_jsonl,
+    write_jsonl,
+    write_trace_jsonl,
+)
+
+__all__ = [
+    "TOPICS",
+    "EventBus",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimeSeries",
+    "MetricsRegistry",
+    "SimProfiler",
+    "HandlerProfile",
+    "handler_name",
+    "DEFAULT_TOPICS",
+    "TraceRecorder",
+    "health_rows",
+    "write_jsonl",
+    "write_trace_jsonl",
+    "read_jsonl",
+]

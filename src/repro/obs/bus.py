@@ -1,0 +1,196 @@
+"""Multi-subscriber event bus for simulation observability.
+
+The instrumentation hooks on core components (``TcpSender.cwnd_listener``,
+``Queue.drop_listener``) were single-slot: attaching a second observer
+silently clobbered the first, so a cwnd probe, a stall watchdog and a
+metrics sampler could not watch the same sender at once. The
+:class:`EventBus` replaces that pattern with typed topics and *ordered*
+subscriber lists — observers subscribe to the bus, and the bus installs
+exactly one forwarding callback per observed component (through the
+components' ``add_*_listener`` chaining hooks, so direct listeners still
+coexist).
+
+Topics and payloads (every subscriber receives ``fn(now, *payload)``):
+
+========  ==========================================  =================
+topic     payload after ``now``                       source
+========  ==========================================  =================
+cwnd      ``flow_id, kind, cwnd``                     :meth:`bind_sender`
+loss      ``flow_id, cwnd`` (fast-recovery entries)   :meth:`bind_sender`
+rto       ``flow_id, cwnd`` (retransmission timeouts) :meth:`bind_sender`
+enqueue   ``packet``                                  :meth:`bind_queue`
+drop      ``packet``                                  :meth:`bind_queue`
+fault     ``description`` (injector audit trail)      :meth:`publish`
+========  ==========================================  =================
+
+Design notes
+------------
+- **Zero-overhead fast path.** Components test their (list-valued)
+  listener hooks for emptiness before computing any payload; an
+  unobserved sender or queue pays a single truthiness check per event.
+  Within the bus, dispatch loops iterate pre-resolved subscriber lists,
+  so an idle topic costs one empty-loop setup per event on a *bound*
+  component and nothing at all on an unbound one.
+- **Per-flow subscriptions.** ``subscribe(topic, fn, flow=fid)``
+  delivers only that flow's events. At 5000-flow CoreScale this keeps
+  per-flow observers O(1) per event instead of O(flows) filtering.
+- **Ordering.** Subscribers fire in subscription order, wildcard
+  (``flow=None``) subscribers before per-flow ones — deterministic, and
+  part of the run's reproducibility contract.
+- Observers must not mutate simulation state; the bus is a read-only
+  tap and byte-identical results with and without subscribers attached
+  is an invariant the CI obs-smoke job enforces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Protocol, Tuple
+
+#: The closed set of event topics.
+TOPICS: Tuple[str, ...] = ("cwnd", "loss", "rto", "enqueue", "drop", "fault")
+
+#: A bus subscriber: called as ``fn(now, *payload)`` (see module table).
+Subscriber = Callable[..., None]
+
+
+class _SenderLike(Protocol):
+    """What :meth:`EventBus.bind_sender` needs from a sender."""
+
+    flow_id: int
+
+    def add_cwnd_listener(
+        self, fn: Callable[[float, str, float], None]
+    ) -> Callable[[float, str, float], None]: ...
+
+
+class _QueueLike(Protocol):
+    """What :meth:`EventBus.bind_queue` needs from a queue."""
+
+    def add_enqueue_listener(
+        self, fn: Callable[[float, Any], None]
+    ) -> Callable[[float, Any], None]: ...
+
+    def add_drop_listener(
+        self, fn: Callable[[float, Any], None]
+    ) -> Callable[[float, Any], None]: ...
+
+
+class EventBus:
+    """Typed-topic publish/subscribe hub for one simulation run."""
+
+    def __init__(self) -> None:
+        # Keyed by (topic, flow): flow=None is the wildcard list. Lists
+        # are created once and captured by identity in forwarders, so
+        # subscribing after a component is bound still takes effect.
+        self._subs: Dict[Tuple[str, Optional[int]], List[Subscriber]] = {}
+
+    # ------------------------------------------------------------------
+    # Subscription management
+    # ------------------------------------------------------------------
+
+    def _list(self, topic: str, flow: Optional[int] = None) -> List[Subscriber]:
+        if topic not in TOPICS:
+            known = ", ".join(TOPICS)
+            raise ValueError(f"unknown topic {topic!r}; known topics: {known}")
+        return self._subs.setdefault((topic, flow), [])
+
+    def subscribe(
+        self, topic: str, fn: Subscriber, flow: Optional[int] = None
+    ) -> Subscriber:
+        """Append ``fn`` to a topic's ordered subscriber list.
+
+        ``flow`` restricts delivery to one flow's events (topics that
+        carry a flow id); ``None`` subscribes to every flow. Returns
+        ``fn`` so the handle can be kept for :meth:`unsubscribe`.
+        """
+        self._list(topic, flow).append(fn)
+        return fn
+
+    def unsubscribe(
+        self, topic: str, fn: Subscriber, flow: Optional[int] = None
+    ) -> None:
+        """Remove a previously subscribed callback (ValueError if absent)."""
+        self._list(topic, flow).remove(fn)
+
+    def subscribers(self, topic: str, flow: Optional[int] = None) -> Tuple[Subscriber, ...]:
+        """The current subscriber list (a snapshot), in dispatch order."""
+        return tuple(self._subs.get((topic, flow), ()))
+
+    def has_subscribers(self, topic: str) -> bool:
+        """True if *any* subscription (wildcard or per-flow) targets ``topic``."""
+        return any(
+            key[0] == topic and subs for key, subs in self._subs.items()
+        )
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+
+    def publish(self, topic: str, now: float, *payload: Any) -> None:
+        """Deliver an event to a topic's wildcard subscribers.
+
+        Sources without a flow identity (the fault injector) publish
+        here directly; sender/queue events go through the bound
+        forwarders installed by :meth:`bind_sender` / :meth:`bind_queue`.
+        """
+        for fn in self._list(topic):
+            fn(now, *payload)
+
+    # ------------------------------------------------------------------
+    # Component binding
+    # ------------------------------------------------------------------
+
+    def bind_sender(self, sender: _SenderLike) -> Callable[[float, str, float], None]:
+        """Forward one sender's cwnd events onto ``cwnd``/``loss``/``rto``.
+
+        Installs a single chained listener on the sender (coexisting
+        with any directly attached listeners) and returns it so callers
+        can later ``sender.remove_cwnd_listener`` it.
+        """
+        fid = sender.flow_id
+        cwnd_all = self._list("cwnd")
+        cwnd_one = self._list("cwnd", fid)
+        loss_all = self._list("loss")
+        loss_one = self._list("loss", fid)
+        rto_all = self._list("rto")
+        rto_one = self._list("rto", fid)
+
+        def forward(now: float, kind: str, cwnd: float) -> None:
+            for fn in cwnd_all:
+                fn(now, fid, kind, cwnd)
+            for fn in cwnd_one:
+                fn(now, fid, kind, cwnd)
+            if kind == "loss_event":
+                for fn in loss_all:
+                    fn(now, fid, cwnd)
+                for fn in loss_one:
+                    fn(now, fid, cwnd)
+            elif kind == "rto":
+                for fn in rto_all:
+                    fn(now, fid, cwnd)
+                for fn in rto_one:
+                    fn(now, fid, cwnd)
+
+        return sender.add_cwnd_listener(forward)
+
+    def bind_queue(
+        self, queue: _QueueLike
+    ) -> Tuple[Callable[[float, Any], None], Callable[[float, Any], None]]:
+        """Forward a queue's arrivals/drops onto ``enqueue``/``drop``.
+
+        Returns the two installed listeners ``(enqueue, drop)``.
+        """
+        enqueue_subs = self._list("enqueue")
+        drop_subs = self._list("drop")
+
+        def forward_enqueue(now: float, packet: Any) -> None:
+            for fn in enqueue_subs:
+                fn(now, packet)
+
+        def forward_drop(now: float, packet: Any) -> None:
+            for fn in drop_subs:
+                fn(now, packet)
+
+        queue.add_enqueue_listener(forward_enqueue)
+        queue.add_drop_listener(forward_drop)
+        return forward_enqueue, forward_drop

@@ -1,0 +1,239 @@
+"""Bounded-memory metrics primitives for at-scale runs.
+
+5000-flow CoreScale runs produce millions of observable events; keeping
+an O(events) sample list per flow (what the pre-observability
+``FlowMonitor``/``CwndProbe`` did) exhausts memory long before the
+interesting regime. This module provides the four primitives dense
+instrumentation needs, each with a hard memory bound:
+
+- :class:`Counter` / :class:`Gauge` — O(1) scalars;
+- :class:`Histogram` — fixed bucket boundaries, O(buckets) forever;
+- :class:`TimeSeries` — a decimating ring buffer: when the buffer
+  fills, every other retained sample is dropped and the accept stride
+  doubles, so an arbitrarily long run keeps at most ``capacity``
+  uniformly thinned samples. Deterministic (no RNG, no wall clock).
+
+A :class:`MetricsRegistry` names and owns instances so exporters can
+walk everything that was recorded (``to_json``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge")
+        self.value += amount
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-write-wins scalar."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+#: Default histogram bucket upper bounds: powers of two from 1 up —
+#: suited to packet/window counts; pass explicit bounds for times.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(2.0 ** i for i in range(16))
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution with O(buckets) memory.
+
+    ``bounds`` are inclusive upper bucket edges; one implicit overflow
+    bucket catches everything above the last edge. Count, sum, min and
+    max are tracked exactly; quantiles are answered to bucket precision.
+    """
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        ordered = tuple(bounds)
+        if not ordered:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(nxt <= prev for nxt, prev in zip(ordered[1:], ordered)):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds = ordered
+        self.counts: List[int] = [0] * (len(ordered) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        # bisect_left finds the first inclusive upper edge >= value;
+        # values above the last edge land in the overflow bucket.
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-precision quantile: the upper edge of the bucket that
+        contains the q-th sample (the exact max for the overflow bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, int(q * self.count + 0.5))
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= rank:
+                if index < len(self.bounds):
+                    return self.bounds[index]
+                break
+        assert self.max is not None
+        return self.max
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+        }
+
+
+class TimeSeries:
+    """A bounded ``(time, value)`` series with automatic decimation.
+
+    Appends are O(1) amortised. The series accepts every ``stride``-th
+    append; when ``capacity`` retained samples accumulate, every other
+    one is dropped and the stride doubles. The result is a uniform
+    thinning: memory never exceeds ``capacity`` samples while coverage
+    always spans the whole run.
+
+    ``stride`` starts at the configured ``decimation`` (default 1 =
+    keep everything until the first compaction), so a caller that knows
+    its event rate can pre-thin cheaply.
+    """
+
+    def __init__(self, capacity: int = 1024, decimation: int = 1) -> None:
+        if capacity < 2:
+            raise ValueError("capacity must be at least 2")
+        if decimation < 1:
+            raise ValueError("decimation must be >= 1")
+        self.capacity = capacity
+        self.stride = decimation
+        self.offered = 0
+        self.times: List[float] = []
+        self.values: List[Any] = []
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def append(self, time: float, value: Any) -> bool:
+        """Offer one sample; returns True if it was retained."""
+        index = self.offered
+        self.offered += 1
+        if index % self.stride:
+            return False
+        self.times.append(time)
+        self.values.append(value)
+        if len(self.times) >= self.capacity:
+            self.times = self.times[::2]
+            self.values = self.values[::2]
+            self.stride *= 2
+        return True
+
+    def items(self) -> List[Tuple[float, Any]]:
+        return list(zip(self.times, self.values))
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "type": "timeseries",
+            "offered": self.offered,
+            "stride": self.stride,
+            "times": list(self.times),
+            "values": list(self.values),
+        }
+
+
+class MetricsRegistry:
+    """Named home for a run's metrics; get-or-create semantics.
+
+    ``registry.counter("drops")`` returns the same :class:`Counter` on
+    every call, so independent subscribers can share instruments without
+    coordination. Asking for an existing name with a different kind
+    raises — silent type confusion is how metrics go wrong.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, kind: type, factory: Any) -> Any:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}"
+                )
+            return existing
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, Counter)  # type: ignore[no-any-return]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, Gauge)  # type: ignore[no-any-return]
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(  # type: ignore[no-any-return]
+            name, Histogram, lambda: Histogram(bounds)
+        )
+
+    def timeseries(
+        self, name: str, capacity: int = 1024, decimation: int = 1
+    ) -> TimeSeries:
+        return self._get_or_create(  # type: ignore[no-any-return]
+            name, TimeSeries, lambda: TimeSeries(capacity, decimation)
+        )
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __getitem__(self, name: str) -> Any:
+        return self._metrics[name]
+
+    def to_json(self) -> Dict[str, Any]:
+        return {name: self._metrics[name].to_json() for name in self.names()}

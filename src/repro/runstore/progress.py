@@ -8,6 +8,7 @@ The scheduler narrates a sweep through a ``progress`` callback taking
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
@@ -53,6 +54,31 @@ class JobEvent:
         if self.wall_seconds <= 0.0 or self.events <= 0:
             return 0.0
         return self.events / self.wall_seconds
+
+    def to_json(self) -> Dict[str, Any]:
+        """The event as a JSON-serialisable row (for JSONL progress logs).
+
+        ``payload`` itself is not serialisable, but for ``degraded``
+        runs its health record — why the run was truncated, which flows
+        stalled, the fault timeline — is the part worth keeping, so it
+        is inlined under ``"health"``.
+        """
+        row: Dict[str, Any] = {
+            "kind": self.kind,
+            "key": self.key,
+            "name": self.name,
+            "attempt": self.attempt,
+        }
+        if self.wall_seconds > 0.0:
+            row["wall_seconds"] = self.wall_seconds
+        if self.events > 0:
+            row["events"] = self.events
+        if self.error:
+            row["error"] = self.error
+        health = getattr(self.payload, "health", None)
+        if health is not None:
+            row["health"] = health.to_json()
+        return row
 
     def render(self) -> str:
         """One human-readable progress line."""
@@ -164,3 +190,18 @@ class SweepStats:
 def print_progress(event: JobEvent, stream: Optional[Any] = None) -> None:
     """A ready-made ``progress`` callback that prints each event."""
     print(event.render(), file=stream)
+
+
+def jsonl_progress(stream: Any) -> ProgressCallback:
+    """A ``progress`` callback that appends one JSON row per event.
+
+    ``stream`` is any writable text file object; the caller owns its
+    lifetime. Rows are flushed eagerly so a tail of the log reflects
+    the sweep's live state even if the process later dies.
+    """
+
+    def callback(event: JobEvent) -> None:
+        stream.write(json.dumps(event.to_json()) + "\n")
+        stream.flush()
+
+    return callback

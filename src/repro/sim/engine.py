@@ -82,6 +82,12 @@ class Simulator:
         #: Active invariant checker, or ``None`` when sanitizing is off.
         #: Components wire themselves to it at construction time.
         self.sanitizer: Optional[SimSanitizer] = maybe_sanitizer(self, sanitize)
+        #: Optional :class:`repro.obs.profiler.SimProfiler` (installed via
+        #: ``profiler.install(sim)``). When set, the loop brackets every
+        #: handler with ``profiler.clock()`` and reports through
+        #: ``profiler.record(fn, elapsed)`` — observation only, so a
+        #: profiled run stays byte-identical to an unprofiled one.
+        self.profiler: Optional[Any] = None
 
     @property
     def events_processed(self) -> int:
@@ -165,6 +171,7 @@ class Simulator:
         processed = self._events_processed
         budget = None if max_events is None else max_events - processed
         sanitizer = self.sanitizer
+        profiler = self.profiler
         try:
             while heap:
                 event = heap[0]
@@ -182,7 +189,12 @@ class Simulator:
                 args = event[_ARGS]
                 event[_FN] = None
                 event[_ARGS] = ()
-                fn(*args)
+                if profiler is not None:
+                    start = profiler.clock()
+                    fn(*args)
+                    profiler.record(fn, profiler.clock() - start)
+                else:
+                    fn(*args)
                 processed += 1
                 if self._stop_requested:
                     break
@@ -214,7 +226,12 @@ class Simulator:
             args = event[_ARGS]
             event[_FN] = None
             event[_ARGS] = ()
-            fn(*args)
+            if self.profiler is not None:
+                start = self.profiler.clock()
+                fn(*args)
+                self.profiler.record(fn, self.profiler.clock() - start)
+            else:
+                fn(*args)
             self._events_processed += 1
             return True
         return False

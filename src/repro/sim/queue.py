@@ -6,8 +6,10 @@ sized to ~1 BDP; :class:`DropTailQueue` is the faithful equivalent.
 drop-tail; DESIGN.md lists queue discipline as an ablation axis).
 
 Queues are passive containers: the owning :class:`repro.sim.link.Link`
-drives enqueue/dequeue. Drop notification happens through an optional
-``drop_listener`` callback so instrumentation never has to subclass.
+drives enqueue/dequeue. Drop/enqueue notification happens through
+ordered listener lists (``add_drop_listener`` / ``add_enqueue_listener``,
+usually wired via :class:`repro.obs.bus.EventBus`) so instrumentation
+never has to subclass and any number of observers can coexist.
 """
 
 from __future__ import annotations
@@ -36,13 +38,80 @@ class Queue:
         self.enqueued_packets = 0
         self.dropped_packets = 0
         self._items: deque[Packet] = deque()
-        self.drop_listener: Optional[DropListener] = None
-        self.enqueue_listener: Optional[DropListener] = None
+        # Ordered multi-subscriber listener lists (see add_drop_listener).
+        self._drop_listeners: list[DropListener] = []
+        self._enqueue_listeners: list[DropListener] = []
         #: Byte-conservation auditor; set by SimSanitizer.watch_queue().
         self.sanitizer: Optional["SimSanitizer"] = None
 
     def __len__(self) -> int:
         return len(self._items)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def add_drop_listener(self, fn: DropListener) -> DropListener:
+        """Append a drop listener; listeners fire in attachment order."""
+        self._drop_listeners.append(fn)
+        return fn
+
+    def remove_drop_listener(self, fn: DropListener) -> None:
+        self._drop_listeners.remove(fn)
+
+    def add_enqueue_listener(self, fn: DropListener) -> DropListener:
+        """Append an enqueue listener; listeners fire in attachment order."""
+        self._enqueue_listeners.append(fn)
+        return fn
+
+    def remove_enqueue_listener(self, fn: DropListener) -> None:
+        self._enqueue_listeners.remove(fn)
+
+    @staticmethod
+    def _single(listeners: "list[DropListener]", slot: str) -> Optional[DropListener]:
+        if not listeners:
+            return None
+        if len(listeners) == 1:
+            return listeners[0]
+        raise RuntimeError(f"multiple {slot}s attached; track add_{slot} handles")
+
+    @staticmethod
+    def _assign(
+        listeners: "list[DropListener]", fn: Optional[DropListener], slot: str
+    ) -> None:
+        """Legacy single-slot assignment — refuses to clobber an observer."""
+        if fn is None:
+            listeners.clear()
+            return
+        if listeners:
+            raise RuntimeError(
+                f"queue already has a {slot} attached; assigning would "
+                f"clobber it. Use add_{slot}() (or subscribe through "
+                "repro.obs.EventBus) to attach additional observers."
+            )
+        listeners.append(fn)
+
+    @property
+    def drop_listener(self) -> Optional[DropListener]:
+        """The sole attached drop listener, or ``None`` (legacy accessor)."""
+        return self._single(self._drop_listeners, "drop_listener")
+
+    @drop_listener.setter
+    def drop_listener(self, fn: Optional[DropListener]) -> None:
+        self._assign(self._drop_listeners, fn, "drop_listener")
+
+    @property
+    def enqueue_listener(self) -> Optional[DropListener]:
+        """The sole attached enqueue listener, or ``None`` (legacy accessor)."""
+        return self._single(self._enqueue_listeners, "enqueue_listener")
+
+    @enqueue_listener.setter
+    def enqueue_listener(self, fn: Optional[DropListener]) -> None:
+        self._assign(self._enqueue_listeners, fn, "enqueue_listener")
+
+    def _notify_drop(self, now: float, packet: Packet) -> None:
+        for fn in self._drop_listeners:
+            fn(now, packet)
 
     def offer(self, now: float, packet: Packet) -> bool:
         """Try to enqueue ``packet`` at time ``now``.
@@ -56,14 +125,13 @@ class Queue:
             self.enqueued_packets += 1
             if self.sanitizer is not None:
                 self.sanitizer.on_enqueue(self, packet)
-            if self.enqueue_listener is not None:
-                self.enqueue_listener(now, packet)
+            for fn in self._enqueue_listeners:
+                fn(now, packet)
             return True
         self.dropped_packets += 1
         if self.sanitizer is not None:
             self.sanitizer.on_reject(self, packet)
-        if self.drop_listener is not None:
-            self.drop_listener(now, packet)
+        self._notify_drop(now, packet)
         return False
 
     def poll(self, now: float = 0.0) -> Optional[Packet]:
@@ -97,8 +165,7 @@ class Queue:
             self.dropped_packets += 1
             if self.sanitizer is not None:
                 self.sanitizer.on_queue_drop(self, packet)
-            if self.drop_listener is not None:
-                self.drop_listener(now, packet)
+            self._notify_drop(now, packet)
         self.capacity_bytes = capacity_bytes
 
     def _evict_tail(self) -> Packet:
@@ -262,8 +329,7 @@ class CoDelQueue(Queue):
         self.dropped_packets += 1
         if self.sanitizer is not None:
             self.sanitizer.on_queue_drop(self, packet)
-        if self.drop_listener is not None:
-            self.drop_listener(now, packet)
+        self._notify_drop(now, packet)
 
     def poll(self, now: float = 0.0) -> Optional[Packet]:
         if self.dropping:

@@ -181,7 +181,8 @@ class TcpSender:
         self._rto_deadline: Optional[float] = None
         self._rto_event: Optional[Event] = None
 
-        self.cwnd_listener: Optional[CwndListener] = None
+        # Ordered cwnd listeners (multi-subscriber; see add_cwnd_listener).
+        self._cwnd_listeners: List[CwndListener] = []
         self.completion_listener: Optional[Callable[["TcpSender"], None]] = None
         # Runtime sanitizer (None when off): audited after every ACK/RTO.
         self._sanitizer = sim.sanitizer
@@ -516,9 +517,64 @@ class TcpSender:
         self._set_rto_deadline(now + self.rtt.rto)
         self._try_send()
 
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def add_cwnd_listener(self, fn: CwndListener) -> CwndListener:
+        """Append a cwnd listener; listeners fire in attachment order.
+
+        Any number of observers (probe, watchdog, metrics sampler,
+        event-bus forwarder) can coexist on one sender. Returns ``fn``
+        so the handle can be kept for :meth:`remove_cwnd_listener`.
+        """
+        self._cwnd_listeners.append(fn)
+        return fn
+
+    def remove_cwnd_listener(self, fn: CwndListener) -> None:
+        """Detach a previously added listener (ValueError if absent)."""
+        self._cwnd_listeners.remove(fn)
+
+    @property
+    def cwnd_listener(self) -> Optional[CwndListener]:
+        """The sole attached listener, or ``None`` (legacy accessor)."""
+        if not self._cwnd_listeners:
+            return None
+        if len(self._cwnd_listeners) == 1:
+            return self._cwnd_listeners[0]
+        raise RuntimeError(
+            "multiple cwnd listeners attached; inspect _cwnd_listeners or "
+            "track handles from add_cwnd_listener instead"
+        )
+
+    @cwnd_listener.setter
+    def cwnd_listener(self, fn: Optional[CwndListener]) -> None:
+        """Legacy single-slot assignment — refuses to clobber.
+
+        Assigning used to silently replace whatever observer was
+        already attached (losing, e.g., a cwnd probe when the watchdog
+        arrived). Assignment now only works on an unobserved sender;
+        ``None`` detaches everything. Use :meth:`add_cwnd_listener` or
+        an :class:`~repro.obs.bus.EventBus` to compose observers.
+        """
+        if fn is None:
+            self._cwnd_listeners.clear()
+            return
+        if self._cwnd_listeners:
+            raise RuntimeError(
+                "sender already has a cwnd listener attached; assigning "
+                "would clobber it. Use add_cwnd_listener() (or subscribe "
+                "through repro.obs.EventBus) to attach additional observers."
+            )
+        self._cwnd_listeners.append(fn)
+
     def _notify_cwnd(self, kind: str) -> None:
-        if self.cwnd_listener is not None:
-            self.cwnd_listener(self.sim.now, kind, self.cca.cwnd)
+        listeners = self._cwnd_listeners
+        if listeners:
+            now = self.sim.now
+            cwnd = self.cca.cwnd
+            for fn in listeners:
+                fn(now, kind, cwnd)
 
 
 class TcpReceiver:

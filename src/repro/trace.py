@@ -10,7 +10,10 @@ scripts) can consume them.
 - :func:`write_cwnd_csv` — a :class:`~repro.instrumentation.tcpprobe.CwndProbe`
   sample series (tcpprobe's output format, simulator edition);
 - :func:`result_to_dict` / :func:`write_result_json` — everything, as
-  one JSON document.
+  one JSON document;
+- :func:`write_trace_jsonl` / :func:`write_health_json` — structured
+  event traces and run-health records (see :mod:`repro.obs.tracing`)
+  so degraded runs stay diagnosable after the fact.
 """
 
 from __future__ import annotations
@@ -20,27 +23,57 @@ import dataclasses
 import json
 from typing import IO, Any, Dict, Iterable, Tuple, Union
 
-from .core.results import ExperimentResult
+from .core.results import ExperimentResult, FlowResult
 from .instrumentation.tcpprobe import CwndProbe
+from .obs.tracing import health_rows, write_jsonl, write_trace_jsonl
+
+__all__ = [
+    "FLOW_FIELDS",
+    "write_flow_csv",
+    "read_flow_csv",
+    "write_drops_csv",
+    "write_cwnd_csv",
+    "result_to_dict",
+    "write_result_json",
+    "write_trace_jsonl",
+    "write_health_json",
+]
 
 PathOrFile = Union[str, IO[str]]
 
-FLOW_FIELDS = (
-    "flow_id",
-    "cca",
-    "base_rtt",
-    "measured_rtt",
-    "goodput_bps",
-    "delivered_packets",
-    "packets_sent",
-    "retransmits",
-    "halvings",
-    "rtos",
-    "queue_drops",
-    "queue_arrivals",
-    "loss_rate",
-    "halving_rate",
+#: The stored FlowResult columns, derived from the dataclass itself so a
+#: new field automatically flows into CSV headers and JSON exports (the
+#: old hand-maintained tuple was sliced by magic index — ``[:12]`` —
+#: and adding a column would have silently corrupted JSON exports).
+_FLOW_COLUMNS: Tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(FlowResult)
 )
+#: Derived per-flow metrics appended after the stored columns.
+_DERIVED_COLUMNS: Tuple[str, ...] = ("loss_rate", "halving_rate")
+
+FLOW_FIELDS: Tuple[str, ...] = _FLOW_COLUMNS + _DERIVED_COLUMNS
+
+#: Typed readback schema for :func:`read_flow_csv`. ``measured_rtt`` is
+#: optional: an empty cell reads back as ``None``, mirroring the writer.
+_INT_FIELDS = frozenset(
+    name
+    for name in FLOW_FIELDS
+    if name
+    in (
+        "flow_id",
+        "delivered_packets",
+        "packets_sent",
+        "retransmits",
+        "halvings",
+        "rtos",
+        "queue_drops",
+        "queue_arrivals",
+    )
+)
+_FLOAT_FIELDS = frozenset(
+    ("base_rtt", "goodput_bps", "loss_rate", "halving_rate")
+)
+_OPTIONAL_FLOAT_FIELDS = frozenset(("measured_rtt",))
 
 
 def _open(dest: PathOrFile) -> Tuple[IO[str], bool]:
@@ -56,24 +89,8 @@ def write_flow_csv(result: ExperimentResult, dest: PathOrFile) -> None:
         writer = csv.writer(fh)
         writer.writerow(FLOW_FIELDS)
         for flow in result.flows:
-            writer.writerow(
-                [
-                    flow.flow_id,
-                    flow.cca,
-                    flow.base_rtt,
-                    flow.measured_rtt if flow.measured_rtt is not None else "",
-                    flow.goodput_bps,
-                    flow.delivered_packets,
-                    flow.packets_sent,
-                    flow.retransmits,
-                    flow.halvings,
-                    flow.rtos,
-                    flow.queue_drops,
-                    flow.queue_arrivals,
-                    flow.loss_rate,
-                    flow.halving_rate,
-                ]
-            )
+            row = [getattr(flow, field) for field in FLOW_FIELDS]
+            writer.writerow(["" if value is None else value for value in row])
     finally:
         if owned:
             fh.close()
@@ -119,8 +136,7 @@ def result_to_dict(result: ExperimentResult, include_drop_times: bool = False) -
         "jfi": result.jfi(),
         "shares": result.shares(),
         "flows": [
-            {field: getattr(flow, field) for field in FLOW_FIELDS[:12]}
-            | {"loss_rate": flow.loss_rate, "halving_rate": flow.halving_rate}
+            {field: getattr(flow, field) for field in FLOW_FIELDS}
             for flow in result.flows
         ],
     }
@@ -142,10 +158,41 @@ def write_result_json(
             fh.close()
 
 
-def read_flow_csv(source: PathOrFile) -> Iterable[dict]:
-    """Read back rows produced by :func:`write_flow_csv` as dicts."""
+def _coerce_row(row: Dict[str, str]) -> Dict[str, Any]:
+    out: Dict[str, Any] = {}
+    for key, raw in row.items():
+        value: Any = raw
+        if key in _INT_FIELDS:
+            value = int(raw)
+        elif key in _FLOAT_FIELDS:
+            value = float(raw)
+        elif key in _OPTIONAL_FLOAT_FIELDS:
+            value = None if raw == "" else float(raw)
+        out[key] = value
+    return out
+
+
+def read_flow_csv(source: PathOrFile) -> Iterable[Dict[str, Any]]:
+    """Read back rows produced by :func:`write_flow_csv`.
+
+    Numeric columns are coerced back to their native types (counters to
+    ``int``, rates and RTTs to ``float``); an empty ``measured_rtt``
+    cell — written for flows that never completed an RTT sample — reads
+    back as ``None``, so a write/read round trip is loss-free.
+    """
     if isinstance(source, str):
         with open(source, newline="") as fh:
-            yield from list(csv.DictReader(fh))
+            yield from [_coerce_row(row) for row in csv.DictReader(fh)]
     else:
-        yield from csv.DictReader(source)
+        for row in csv.DictReader(source):
+            yield _coerce_row(row)
+
+
+def write_health_json(result: ExperimentResult, dest: PathOrFile) -> None:
+    """Write the run's health record and fault timeline as JSONL rows.
+
+    A thin wrapper over :func:`repro.obs.tracing.health_rows` so callers
+    that only import :mod:`repro.trace` can still export the degradation
+    audit trail next to their CSVs.
+    """
+    write_jsonl(health_rows(result), dest)

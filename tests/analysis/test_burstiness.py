@@ -83,3 +83,38 @@ class TestWindowed:
         scores = windowed_burstiness(events, window=5.0)
         assert scores
         assert all(-1.0 <= s <= 1.0 for s in scores)
+
+    def test_exactly_three_event_bucket_is_scored(self):
+        # Three events is the minimum a window needs (two gaps); the
+        # boundary bucket must be scored, not skipped.
+        events = [0.0, 0.3, 0.6]
+        scores = windowed_burstiness(events, window=1.0)
+        assert scores == [pytest.approx(burstiness_score(events))]
+
+    def test_two_event_bucket_is_skipped(self):
+        assert windowed_burstiness([0.0, 0.5], window=1.0) == []
+
+    def test_multi_window_gap_resynchronises_buckets(self):
+        # Two dense clusters separated by many empty windows: the skip
+        # loop must advance the window origin past the dead time so the
+        # second cluster lands in ONE bucket (and is scored), instead of
+        # being smeared across stale window boundaries.
+        first = [0.0, 0.1, 0.2, 0.3]
+        second = [50.2, 50.3, 50.4, 50.5]  # ~50 empty 1s-windows later
+        scores = windowed_burstiness(first + second, window=1.0)
+        assert len(scores) == 2
+        assert scores[0] == pytest.approx(burstiness_score(first))
+        assert scores[1] == pytest.approx(burstiness_score(second))
+
+    def test_trailing_bucket_is_flushed(self):
+        # Events whose final cluster never crosses another window edge
+        # still produce a score for the last partial window.
+        events = [0.0, 0.1, 0.2, 2.0, 2.1, 2.2]
+        scores = windowed_burstiness(events, window=1.0)
+        assert len(scores) == 2
+
+    def test_unsorted_input_is_sorted_first(self):
+        events = [0.6, 0.0, 0.3]
+        assert windowed_burstiness(events, window=1.0) == windowed_burstiness(
+            sorted(events), window=1.0
+        )

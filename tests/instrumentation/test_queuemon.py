@@ -95,3 +95,32 @@ def test_occupancy_sampler():
 def test_occupancy_sampler_validation():
     with pytest.raises(ValueError):
         OccupancySampler(Simulator(), DropTailQueue(1500), interval=0.0)
+
+
+def test_two_monitors_coexist_on_one_queue():
+    # Chained listeners: the second monitor must not displace the first.
+    q = DropTailQueue(3000)
+    a = QueueMonitor(q)
+    b = QueueMonitor(q)
+    fill(q, 1.0, flow=1, n=3)
+    assert a.arrivals_total == b.arrivals_total == 2
+    assert a.drops_total == b.drops_total == 1
+
+
+def test_bus_mode_matches_direct_mode():
+    from repro.obs import EventBus
+
+    direct_q = DropTailQueue(3000)
+    direct = QueueMonitor(direct_q)
+    fill(direct_q, 1.0, flow=1, n=4)
+
+    bus_q = DropTailQueue(3000)
+    bus = EventBus()
+    bus.bind_queue(bus_q)
+    via_bus = QueueMonitor(bus_q, bus=bus)
+    fill(bus_q, 1.0, flow=1, n=4)
+
+    assert via_bus.arrivals_total == direct.arrivals_total
+    assert via_bus.drops_total == direct.drops_total
+    assert via_bus.drop_times == direct.drop_times
+    assert dict(via_bus.drops_by_flow) == dict(direct.drops_by_flow)

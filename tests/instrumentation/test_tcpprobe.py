@@ -1,6 +1,11 @@
 """Tests for the tcpprobe-equivalent cwnd probe."""
 
+import pytest
+
+from repro.instrumentation.flowmon import FlowMonitor
 from repro.instrumentation.tcpprobe import CwndProbe
+from repro.faults.watchdog import SimWatchdog, WatchdogConfig
+from repro.obs import EventBus, MetricsRegistry
 from repro.tcp.cca.newreno import NewReno
 from tests.conftest import make_pipe
 
@@ -56,3 +61,110 @@ def test_attach_to_live_sender(sim):
     assert sender.completed
     assert probe.halvings == 1
     assert probe.congestion_events == sender.stats.congestion_events
+
+
+def test_attach_never_clobbers(sim):
+    sender, _, _ = make_pipe(sim, NewReno())
+    first = CwndProbe(sender)
+    second = CwndProbe()
+    second.attach(sender)  # coexists instead of displacing `first`
+    with pytest.raises(RuntimeError):
+        sender.cwnd_listener  # legacy single-slot view is now ambiguous
+    with pytest.raises(RuntimeError):
+        first.attach(sender)  # a probe attaches at most once
+    first.detach()
+    with pytest.raises(RuntimeError):
+        first.detach()
+
+
+def test_single_slot_assignment_raises_instead_of_clobbering(sim):
+    sender, _, _ = make_pipe(sim, NewReno())
+    probe = CwndProbe(sender)
+    with pytest.raises(RuntimeError):
+        # The legacy single-slot property refuses to silently displace
+        # the attached probe (the old behavior lost the first observer).
+        sender.cwnd_listener = lambda now, kind, cwnd: None
+    # Clearing and reassigning on a free slot still works.
+    probe.detach()
+    sender.cwnd_listener = probe.on_event
+    assert sender.cwnd_listener == probe.on_event
+
+
+def test_subscribe_is_single_use(sim):
+    bus = EventBus()
+    probe = CwndProbe()
+    probe.subscribe(bus, 0)
+    with pytest.raises(RuntimeError):
+        probe.subscribe(bus, 0)
+
+
+def _run_with_drops(sim, observers):
+    """One deterministic lossy flow; `observers(sender, bus)` wires
+    instrumentation before the run starts."""
+    sender, _, _ = make_pipe(
+        sim, NewReno(), total_packets=400, drop_indices={40, 120, 250}
+    )
+    bus = EventBus()
+    bus.bind_sender(sender)
+    extras = observers(sender, bus)
+    sender.start()
+    sim.run(until=30.0)
+    assert sender.completed
+    return sender, extras
+
+
+def test_three_subscribers_coexist_with_identical_counts():
+    # The acceptance bar for the bus migration: a cwnd probe, the stall
+    # watchdog and a metrics sampler all watch ONE sender, and the
+    # probe's halving counts match the pre-bus single-probe baseline.
+    from repro.sim.engine import Simulator
+
+    baseline_sim = Simulator()
+    baseline_sender, _, _ = make_pipe(
+        baseline_sim, NewReno(), total_packets=400,
+        drop_indices={40, 120, 250},
+    )
+    baseline = CwndProbe()
+    baseline.attach(baseline_sender)  # the old direct, single-probe path
+    baseline_sender.start()
+    baseline_sim.run(until=30.0)
+    assert baseline_sender.completed
+    assert baseline.congestion_events > 0
+
+    sim = Simulator()
+    registry = MetricsRegistry()
+
+    def wire(sender, bus):
+        probe = CwndProbe()
+        probe.subscribe(bus, sender.flow_id)
+        monitor = FlowMonitor(sim, [sender])
+        dog = SimWatchdog(
+            sim, monitor, [0.0],
+            config=WatchdogConfig(stall_budget=5.0), bus=bus,
+        )
+        dog.arm()
+
+        acks = registry.counter("acks")
+        series = registry.timeseries("cwnd", capacity=64)
+
+        def sample(now, fid, kind, cwnd):
+            if kind == "ack":
+                acks.inc()
+            series.append(now, cwnd)
+
+        bus.subscribe("cwnd", sample)
+        return probe, dog
+
+    sender, (probe, dog) = _run_with_drops(sim, wire)
+
+    # All three observers saw the run...
+    assert registry.counter("acks").value > 0
+    assert len(registry.timeseries("cwnd")) > 0
+    assert dog.checks > 0 and not dog.aborted
+    # ...and the probe's counts are byte-for-byte the baseline's.
+    assert probe.halvings == baseline.halvings
+    assert probe.rtos == baseline.rtos
+    assert probe.congestion_events == sender.stats.congestion_events
+    # The simulation itself was untouched by observation.
+    assert sender.snd_una == baseline_sender.snd_una
+    assert sender.stats.congestion_events == baseline_sender.stats.congestion_events

@@ -1,0 +1,121 @@
+"""Tests for the bounded-memory metrics primitives."""
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    TimeSeries,
+)
+
+
+def test_counter_monotonic():
+    c = Counter()
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    assert c.to_json() == {"type": "counter", "value": 5}
+
+
+def test_gauge_last_write_wins():
+    g = Gauge()
+    g.set(3.5)
+    g.set(-1.0)
+    assert g.value == -1.0
+
+
+def test_histogram_bucketing_is_inclusive_on_upper_edges():
+    h = Histogram(bounds=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.0, 2.0, 3.0, 4.0, 100.0):
+        h.observe(value)
+    # buckets: <=1, <=2, <=4, overflow
+    assert h.counts == [2, 1, 2, 1]
+    assert h.count == 6
+    assert h.min == 0.5
+    assert h.max == 100.0
+    assert h.mean == pytest.approx(110.5 / 6)
+
+
+def test_histogram_quantiles_bucket_precision():
+    h = Histogram(bounds=(1.0, 2.0, 4.0))
+    for value in (0.5, 0.6, 0.7, 3.0):
+        h.observe(value)
+    assert h.quantile(0.5) == 1.0   # upper edge of the containing bucket
+    assert h.quantile(1.0) == 4.0
+    h.observe(50.0)
+    assert h.quantile(1.0) == 50.0  # overflow bucket answers with the max
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_histogram_rejects_bad_bounds():
+    with pytest.raises(ValueError):
+        Histogram(bounds=())
+    with pytest.raises(ValueError):
+        Histogram(bounds=(1.0, 1.0))
+
+
+def test_timeseries_keeps_everything_below_capacity():
+    ts = TimeSeries(capacity=100)
+    for i in range(50):
+        ts.append(i * 0.1, i)
+    assert len(ts) == 50
+    assert ts.items()[0] == (0.0, 0)
+
+
+def test_timeseries_decimates_and_stays_bounded():
+    ts = TimeSeries(capacity=16)
+    for i in range(10_000):
+        ts.append(float(i), i)
+    assert len(ts) <= 16
+    assert ts.offered == 10_000
+    # Coverage spans the whole series, uniformly thinned.
+    assert ts.times[0] == 0.0
+    assert ts.times[-1] >= 10_000 - ts.stride
+    assert ts.times == sorted(ts.times)
+
+
+def test_timeseries_initial_decimation():
+    ts = TimeSeries(capacity=1024, decimation=10)
+    for i in range(100):
+        ts.append(float(i), i)
+    assert ts.times == [float(i) for i in range(0, 100, 10)]
+
+
+def test_timeseries_validation():
+    with pytest.raises(ValueError):
+        TimeSeries(capacity=1)
+    with pytest.raises(ValueError):
+        TimeSeries(decimation=0)
+
+
+def test_registry_get_or_create_shares_instances():
+    reg = MetricsRegistry()
+    assert reg.counter("drops") is reg.counter("drops")
+    reg.counter("drops").inc()
+    assert reg["drops"].value == 1
+    assert "drops" in reg
+    assert reg.names() == ["drops"]
+
+
+def test_registry_rejects_kind_mismatch():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+
+
+def test_registry_to_json_walks_everything():
+    reg = MetricsRegistry()
+    reg.counter("a").inc(2)
+    reg.gauge("b").set(1.5)
+    reg.histogram("c").observe(3.0)
+    reg.timeseries("d").append(0.1, 7)
+    dump = reg.to_json()
+    assert set(dump) == {"a", "b", "c", "d"}
+    assert dump["a"] == {"type": "counter", "value": 2}
+    assert dump["d"]["times"] == [0.1]

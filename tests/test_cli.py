@@ -189,3 +189,56 @@ def test_run_bad_fault_spec_is_usage_error(capsys):
             "run", "--setting", "edge", "--flows", "2", "--duration", "3",
             "--warmup", "1", "--faults", "asteroid@1",
         ])
+
+
+def test_run_with_profile_prints_report(capsys):
+    code, out = run_cli(
+        capsys,
+        "run", "--setting", "edge", "--flows", "2", "--duration", "3",
+        "--warmup", "1", "--profile",
+    )
+    assert code == 0
+    assert "profile:" in out
+    assert "handler" in out
+
+
+def test_profile_subcommand(capsys):
+    code, out = run_cli(
+        capsys,
+        "profile", "--setting", "edge", "--flows", "2", "--duration", "3",
+        "--warmup", "1", "--top", "3",
+    )
+    assert code == 0
+    assert "profile:" in out
+    assert "ev/s" in out
+
+
+def test_run_with_trace_writes_jsonl(tmp_path, capsys):
+    from repro.obs.tracing import read_jsonl
+
+    dest = str(tmp_path / "trace.jsonl")
+    code, _ = run_cli(
+        capsys,
+        "run", "--setting", "edge", "--flows", "2", "--duration", "3",
+        "--warmup", "1", "--trace", dest,
+    )
+    assert code == 0
+    rows = read_jsonl(dest)
+    assert rows
+    topics = {row["topic"] for row in rows}
+    assert "cwnd" in topics
+    # Warm-up cut applies to the trace.
+    assert all(row["t"] >= 1.0 for row in rows if "t" in row)
+
+
+def test_profile_and_trace_reject_store(tmp_path):
+    with pytest.raises(SystemExit):
+        main([
+            "run", "--setting", "edge", "--flows", "2", "--duration", "2",
+            "--warmup", "1", "--profile", "--store", str(tmp_path / "s"),
+        ])
+    code = main([
+        "profile", "--setting", "edge", "--flows", "2", "--duration", "2",
+        "--warmup", "1", "--store", str(tmp_path / "s"),
+    ])
+    assert code == 2
