@@ -1,0 +1,28 @@
+"""Engine hot-path micro-benchmarks (pytest-benchmark wrapper).
+
+Thin pytest face over :mod:`repro.bench` so the engine numbers show up
+in the same ``pytest benchmarks/`` table as the figure benchmarks. The
+authoritative artifact is still ``repro bench --out BENCH_engine.json``;
+these tests assert only sanity (the workloads ran, events match), never
+absolute speed — wall-clock thresholds in tests are how suites go flaky.
+"""
+
+from __future__ import annotations
+
+from repro.bench import MICRO_EVENTS, bench_scenarios, run_engine_micro
+from repro.core.experiment import run_experiment
+
+
+def test_engine_micro_schedule_cancel_storm(benchmark):
+    events, _, sim_now = benchmark.pedantic(run_engine_micro, rounds=1, iterations=1)
+    assert events == MICRO_EVENTS
+    assert sim_now > 0.0
+
+
+def test_engine_core_quick_profile(benchmark):
+    scenario = bench_scenarios(quick=True)["core-quick-20"]
+    result = benchmark.pedantic(
+        run_experiment, args=(scenario,), rounds=1, iterations=1
+    )
+    assert result.events_processed > 0
+    assert len(result.flows) == 20

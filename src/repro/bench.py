@@ -1,0 +1,234 @@
+"""Engine performance benchmarks: the BENCH trajectory.
+
+Measures simulator throughput (executed events per wall-clock second)
+on a fixed set of canonical workloads and records it as
+``BENCH_engine.json``, so the repo's performance history is finally a
+tracked artifact rather than folklore:
+
+- ``core-quick-20`` / ``core-quick-100`` — the CoreScale quick-profile
+  operating points (paper 1000/5000 flows at scale divisor 50). These
+  are the acceptance workloads for hot-path work: the per-flow windows
+  of a handful of packets make ACK processing, loss marking and timer
+  re-arming dominate, exactly like the paper's at-scale regime.
+- ``edge-10`` — the EdgeScale baseline (large per-flow windows, long
+  SACK-free stretches).
+- ``engine-micro`` — the bare event loop: self-rescheduling callbacks
+  plus a constantly cancelled-and-re-armed timer population, isolating
+  scheduler/heap overhead from TCP processing.
+
+Wall-clock reads live here by design — this module measures the host,
+never simulation behaviour, and nothing it computes feeds back into a
+run. Results on the same scenarios stay byte-identical regardless of
+how (or whether) they are benchmarked; the golden-run suite enforces
+that separately.
+
+CLI: ``repro bench [--quick] [--out FILE] [--baseline FILE]
+[--fail-threshold R]`` — with a baseline, exits non-zero when any
+scenario's events/sec regresses by more than the threshold (CI's
+perf-smoke gate).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from .core.experiment import run_experiment
+from .core.scenarios import Scenario, core_scale, edge_scale
+from .sim.engine import Simulator
+
+#: Bump when the scenario set or JSON schema changes incompatibly.
+BENCH_FORMAT = 1
+
+#: Events the micro-benchmark executes per repeat.
+MICRO_EVENTS = 200_000
+
+
+@dataclass
+class BenchResult:
+    """One scenario's measured throughput (best of ``repeats``)."""
+
+    name: str
+    events: int
+    wall_seconds: float
+    events_per_sec: float
+    sim_seconds: float
+    repeats: int
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "events": self.events,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "events_per_sec": round(self.events_per_sec, 1),
+            "sim_seconds": self.sim_seconds,
+            "repeats": self.repeats,
+        }
+
+
+def bench_scenarios(quick: bool) -> Dict[str, Scenario]:
+    duration = 4.0 if quick else 8.0
+    warmup = 1.0 if quick else 2.0
+    return {
+        "core-quick-20": core_scale(
+            flows=1000, cca="newreno", scale=50,
+            duration=duration, warmup=warmup, seed=21,
+        ),
+        "core-quick-100": core_scale(
+            flows=5000, cca="cubic", scale=50,
+            duration=duration, warmup=warmup, seed=21,
+        ),
+        "edge-10": edge_scale(
+            flows=10, cca="newreno", duration=duration, warmup=warmup, seed=7,
+        ),
+    }
+
+
+def _run_scenario(scenario: Scenario) -> Tuple[int, float, float]:
+    start = time.perf_counter()  # repro-lint: disable=RPR001 -- host benchmark
+    result = run_experiment(scenario, record_drop_times=False)
+    wall = time.perf_counter() - start  # repro-lint: disable=RPR001 -- host benchmark
+    return result.events_processed, wall, scenario.duration
+
+
+def run_engine_micro() -> Tuple[int, float, float]:
+    """Raw engine throughput: tick storm plus timer re-arm churn.
+
+    Mimics the shape TCP imposes on the scheduler: a large population
+    of periodic callbacks, each of which also keeps one pending timer
+    that is cancelled and re-armed on every tick (the RTO pattern), so
+    lazily cancelled entries accumulate in the heap exactly as they do
+    in a real run.
+    """
+    sim = Simulator()
+    pending: List[Any] = []
+
+    def tick(idx: int) -> None:
+        timer = pending[idx]
+        if timer is not None:
+            sim.cancel(timer)
+        pending[idx] = sim.schedule(1.0, _noop)
+        sim.schedule(0.01, tick, idx)
+
+    def _noop() -> None:
+        pass
+
+    workers = 200
+    for idx in range(workers):
+        pending.append(None)
+        sim.schedule(0.01 * (idx + 1) / workers, tick, idx)
+    start = time.perf_counter()  # repro-lint: disable=RPR001 -- host benchmark
+    sim.run(max_events=MICRO_EVENTS)
+    wall = time.perf_counter() - start  # repro-lint: disable=RPR001 -- host benchmark
+    return sim.events_processed, wall, sim.now
+
+
+def run_benchmarks(
+    quick: bool = False,
+    repeats: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Dict[str, BenchResult]:
+    """Run the full bench set; returns best-of-``repeats`` per scenario."""
+    if repeats is None:
+        repeats = 1 if quick else 2
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    jobs: List[Tuple[str, Callable[[], Tuple[int, float, float]]]] = [
+        (name, (lambda sc=sc: _run_scenario(sc)))
+        for name, sc in bench_scenarios(quick).items()
+    ]
+    jobs.append(("engine-micro", run_engine_micro))
+
+    results: Dict[str, BenchResult] = {}
+    for name, job in jobs:
+        best: Optional[BenchResult] = None
+        for _ in range(repeats):
+            events, wall, sim_seconds = job()
+            rate = events / wall if wall > 0 else 0.0
+            candidate = BenchResult(name, events, wall, rate, sim_seconds, repeats)
+            if best is None or candidate.events_per_sec > best.events_per_sec:
+                best = candidate
+        assert best is not None
+        results[name] = best
+        if progress is not None:
+            progress(
+                f"{name:16s} {best.events:>9d} events  "
+                f"{best.wall_seconds:7.2f}s  {best.events_per_sec / 1e3:8.1f}k ev/s"
+            )
+    return results
+
+
+def bench_json(
+    results: Dict[str, BenchResult],
+    quick: bool,
+    extra: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    payload: Dict[str, Any] = {
+        "format": BENCH_FORMAT,
+        "profile": "quick" if quick else "default",
+        "python": platform.python_version(),
+        "scenarios": {name: r.to_json() for name, r in results.items()},
+    }
+    if extra:
+        payload.update(extra)
+    return payload
+
+
+def compare_to_baseline(
+    results: Dict[str, BenchResult],
+    baseline: Dict[str, Any],
+    fail_threshold: float,
+) -> List[str]:
+    """Regression check against a committed baseline document.
+
+    Returns human-readable failure lines, one per scenario whose
+    events/sec fell more than ``fail_threshold`` below the baseline.
+    Scenarios missing from either side are reported as failures too —
+    a silently skipped workload is how perf gates rot.
+    """
+    failures: List[str] = []
+    base_scenarios = baseline.get("scenarios", {})
+    for name, current in results.items():
+        base = base_scenarios.get(name)
+        if base is None:
+            failures.append(f"{name}: not present in baseline (regenerate it)")
+            continue
+        base_rate = float(base["events_per_sec"])
+        floor = base_rate * (1.0 - fail_threshold)
+        if current.events_per_sec < floor:
+            failures.append(
+                f"{name}: {current.events_per_sec / 1e3:.1f}k ev/s is "
+                f"{1.0 - current.events_per_sec / base_rate:.1%} below the "
+                f"baseline {base_rate / 1e3:.1f}k ev/s "
+                f"(allowed regression: {fail_threshold:.0%})"
+            )
+    for name in base_scenarios:
+        if name not in results:
+            failures.append(f"{name}: in baseline but not measured this run")
+    return failures
+
+
+def main(args: Any) -> int:
+    """``repro bench`` entry point (argparse namespace from the CLI)."""
+    results = run_benchmarks(quick=args.quick, repeats=args.repeats, progress=print)
+    payload = bench_json(results, quick=args.quick)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline = json.load(fh)
+        failures = compare_to_baseline(results, baseline, args.fail_threshold)
+        if failures:
+            for line in failures:
+                print(f"PERF REGRESSION: {line}")
+            return 1
+        print(
+            f"all scenarios within {args.fail_threshold:.0%} of baseline "
+            f"{args.baseline}"
+        )
+    return 0

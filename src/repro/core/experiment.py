@@ -193,7 +193,9 @@ def run_experiment(
     probes = []
     for flow in dumbbell.flows:
         probe = CwndProbe(start_time=scenario.warmup)
-        probe.subscribe(bus, flow.flow_id)
+        # Counters-only subscription: results use halvings/rtos, never
+        # the per-ACK series, so keep the per-ACK fast path engaged.
+        probe.subscribe_counters(bus, flow.flow_id)
         probes.append(probe)
     senders = [flow.sender for flow in dumbbell.flows]
     flow_mon = FlowMonitor(sim, senders)

@@ -1,0 +1,212 @@
+"""Golden-run corpus: canonical scenarios and byte-exact result hashing.
+
+The hot-path optimization work (DESIGN.md §11) is only safe because the
+simulator's results are *byte-identical* before and after: every float,
+every counter, every event count. This module defines
+
+- a canonical, lossless serialisation of an
+  :class:`~repro.core.results.ExperimentResult` (floats rendered with
+  :meth:`float.hex`, keys sorted) and its sha256 digest;
+- the six canonical golden scenarios (two EdgeScale points, two
+  CoreScale quick points, one faulted run, one BBR/NewReno mix) whose
+  digests are committed under ``tests/golden/hashes.json``;
+- :func:`run_golden`, which re-runs one scenario and returns the digest
+  plus an optional bounded JSONL trace (the compressed traces committed
+  under ``tests/golden/traces/`` are produced from the same rows).
+
+``tools/regen_golden.py`` regenerates the committed corpus;
+``tests/golden/test_golden_runs.py`` asserts against it and explains
+drift (an intentional physics change — regenerate) versus breakage
+(event-structure or numeric divergence introduced by a refactor).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..faults.schedule import FaultSchedule
+from ..obs.bus import EventBus
+from ..obs.tracing import TraceRecorder, health_rows
+from .experiment import run_experiment
+from .results import ExperimentResult
+from .scenarios import FlowGroup, Scenario, core_scale, edge_scale
+
+#: Bump when the canonical serialisation itself changes shape (never for
+#: physics changes — those regenerate hashes at the same format).
+GOLDEN_FORMAT = 1
+
+#: Row cap for golden traces: keeps the committed artifacts small while
+#: still pinning the exact event-by-event behaviour of the opening
+#: seconds of each run (where slow-start, the first loss epoch and the
+#: first recovery all happen).
+TRACE_MAX_EVENTS = 5000
+
+#: Scenarios whose (bounded) JSONL traces are committed alongside the
+#: result hashes.
+TRACED_SCENARIOS = ("golden-edge-10", "golden-core-20")
+
+
+def _canon(obj: Any) -> Any:
+    """Recursively convert a value into a canonical JSON-able form.
+
+    Floats are rendered with :meth:`float.hex` — lossless, so two
+    results agree on the canonical form iff they agree bit-for-bit.
+    ``bool`` is checked before ``int`` (bools are ints in Python).
+    """
+    if isinstance(obj, bool) or obj is None or isinstance(obj, (int, str)):
+        return obj
+    if isinstance(obj, float):
+        return obj.hex()
+    if isinstance(obj, dict):
+        return {str(k): _canon(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_canon(v) for v in obj]
+    raise TypeError(f"cannot canonicalise {type(obj).__name__}: {obj!r}")
+
+
+def canonical_result_dict(result: ExperimentResult) -> Dict[str, Any]:
+    """Every result field that must stay byte-identical, canonicalised.
+
+    ``wall_seconds`` is deliberately excluded — it is host-performance
+    metadata (always 0.0 on the direct :func:`run_experiment` path, set
+    by the run-store scheduler otherwise), not a simulation output.
+    """
+    return {
+        "scenario": _canon(dataclasses.asdict(result.scenario)),
+        "flows": [_canon(dataclasses.asdict(f)) for f in result.flows],
+        "measured_duration": _canon(result.measured_duration),
+        "queue_drops": result.queue_drops,
+        "queue_arrivals": result.queue_arrivals,
+        "drop_times": _canon(result.drop_times),
+        "events_processed": result.events_processed,
+        "health": _canon(result.health.to_json()) if result.health else None,
+    }
+
+
+def canonical_result_json(result: ExperimentResult) -> str:
+    """The canonical JSON text the golden digest is computed over."""
+    return json.dumps(
+        canonical_result_dict(result), sort_keys=True, separators=(",", ":")
+    )
+
+
+def result_digest(result: ExperimentResult) -> str:
+    """sha256 over the canonical result JSON."""
+    return hashlib.sha256(canonical_result_json(result).encode("utf-8")).hexdigest()
+
+
+def trace_text(rows: List[Dict[str, Any]]) -> str:
+    """Trace rows as the exact JSONL text the trace digest covers."""
+    return "".join(json.dumps(row, separators=(",", ":")) + "\n" for row in rows)
+
+
+def trace_digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def golden_scenarios() -> Dict[str, Scenario]:
+    """The canonical corpus, keyed by scenario name (insertion-ordered).
+
+    Six scenarios chosen to cover every hot path the optimization work
+    touches: slow start and AIMD steady state (edge), the paper's
+    small-window CoreScale regime at its quick-profile scale divisor
+    (core, 20 and 100 flows), fault injection with a health record
+    (faulted blackout), and BBR's pacing/rate-sampling machinery
+    competing with a loss-based flow (bbr-mix).
+    """
+    duration, warmup = 5.0, 1.5
+    edge10 = edge_scale(
+        flows=10, cca="newreno", duration=duration, warmup=warmup, seed=7
+    ).with_overrides(name="golden-edge-10")
+    edge50 = edge_scale(
+        flows=50, cca="cubic", duration=duration, warmup=warmup, seed=7
+    ).with_overrides(name="golden-edge-50")
+    core20 = core_scale(
+        flows=1000, cca="newreno", scale=50, duration=duration, warmup=warmup, seed=21
+    ).with_overrides(name="golden-core-20")
+    core100 = core_scale(
+        flows=5000, cca="cubic", scale=50, duration=duration, warmup=warmup, seed=21
+    ).with_overrides(name="golden-core-100")
+    faulted = edge_scale(
+        flows=10, cca="newreno", duration=duration, warmup=warmup, seed=13
+    ).with_overrides(
+        name="golden-faulted",
+        faults=FaultSchedule.from_spec("blackout", duration).events,
+    )
+    bbr_mix = edge_scale(
+        flows=10, cca="bbr", duration=duration, warmup=warmup, seed=17
+    ).with_overrides(
+        name="golden-bbr-mix",
+        groups=(FlowGroup("bbr", 5, 0.020), FlowGroup("newreno", 5, 0.020)),
+    )
+    return {
+        sc.name: sc for sc in (edge10, edge50, core20, core100, faulted, bbr_mix)
+    }
+
+
+def run_golden(
+    scenario: Scenario, with_trace: bool = False
+) -> Tuple[ExperimentResult, str, Optional[str]]:
+    """Run one golden scenario; returns (result, digest, trace text).
+
+    The trace (when requested) is recorded through a private event bus —
+    observation is result-neutral by contract (the differential tests
+    and the CI obs-smoke job both enforce it), so traced and bare golden
+    runs share one digest.
+    """
+    bus: Optional[EventBus] = None
+    recorder: Optional[TraceRecorder] = None
+    if with_trace:
+        bus = EventBus()
+        recorder = TraceRecorder(
+            bus, max_events=TRACE_MAX_EVENTS, start_time=scenario.warmup
+        )
+    result = run_experiment(scenario, bus=bus)
+    text: Optional[str] = None
+    if recorder is not None:
+        text = trace_text(list(recorder.events) + health_rows(result))
+    return result, result_digest(result), text
+
+
+def drift_report(expected: Dict[str, Any], actual: ExperimentResult) -> str:
+    """Explain a golden mismatch: drift (intentional) vs breakage.
+
+    ``expected`` is one scenario's committed entry from ``hashes.json``
+    (``result_sha256`` plus the coarse ``events``/``queue_drops``
+    fingerprints recorded for exactly this diagnosis).
+    """
+    lines = ["golden digest mismatch:"]
+    exp_events = expected.get("events")
+    if exp_events is not None and exp_events != actual.events_processed:
+        lines.append(
+            f"  - events_processed changed: {exp_events} -> "
+            f"{actual.events_processed}. The event *structure* of the run "
+            "diverged — packets or timers are being scheduled differently. "
+            "For a pure performance refactor this is breakage: the "
+            "optimized path must replay the exact same event sequence."
+        )
+    else:
+        lines.append(
+            "  - events_processed is unchanged, so the event structure "
+            "still matches; a measurement or floating-point result "
+            "diverged instead (e.g. reordered float arithmetic, a "
+            "changed accumulator, or an observer mutating state)."
+        )
+    exp_drops = expected.get("queue_drops")
+    if exp_drops is not None and exp_drops != actual.queue_drops:
+        lines.append(
+            f"  - queue_drops changed: {exp_drops} -> {actual.queue_drops} "
+            "(loss pattern diverged)."
+        )
+    lines.append(
+        "  If this change to the simulation's behaviour is *intentional* "
+        "(new physics, a bug fix that changes results), regenerate the "
+        "corpus with `python tools/regen_golden.py` and commit the new "
+        "hashes/traces, explaining the drift in the commit message. If "
+        "you were optimizing or refactoring, this is a regression — the "
+        "run is no longer byte-identical."
+    )
+    return "\n".join(lines)

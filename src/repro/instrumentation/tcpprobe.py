@@ -88,6 +88,36 @@ class CwndProbe:
 
         self._bus_handle = bus.subscribe("cwnd", on_bus_event, flow=flow)
 
+    def subscribe_counters(self, bus: EventBus, flow: int) -> None:
+        """Observe only the rare window-reduction events through the bus.
+
+        Subscribes to the ``loss`` and ``rto`` topics instead of the
+        full ``cwnd`` stream, so the sender's per-ACK zero-listener
+        fast path stays engaged: the probe costs nothing per ACK and a
+        handful of calls per congestion event. The halving counters
+        (:attr:`halvings`, :attr:`rtos`, :attr:`congestion_events`) are
+        identical to a full subscription; ``recovery_exits``,
+        ``last_cwnd`` and the sample series are *not* maintained — use
+        :meth:`subscribe` when those are needed.
+        """
+        if self.record_samples:
+            raise RuntimeError(
+                "subscribe_counters() skips per-ACK events, so the sample "
+                "series would be silently incomplete; use subscribe()"
+            )
+        if self._bus_handle is not None:
+            raise RuntimeError("probe already subscribed to a bus")
+
+        def on_loss(now: float, flow_id: int, cwnd: float) -> None:
+            self.on_event(now, "loss_event", cwnd)
+
+        def on_rto(now: float, flow_id: int, cwnd: float) -> None:
+            self.on_event(now, "rto", cwnd)
+
+        bus.subscribe("loss", on_loss, flow=flow)
+        bus.subscribe("rto", on_rto, flow=flow)
+        self._bus_handle = on_loss
+
     def on_event(self, now: float, kind: str, cwnd: float) -> None:
         self.last_cwnd = cwnd
         if now < self.start_time:

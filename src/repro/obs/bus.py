@@ -59,8 +59,10 @@ class _SenderLike(Protocol):
     flow_id: int
 
     def add_cwnd_listener(
-        self, fn: Callable[[float, str, float], None]
+        self, fn: Callable[[float, str, float], None], ack_events: bool = ...
     ) -> Callable[[float, str, float], None]: ...
+
+    def enable_ack_events(self, fn: Callable[[float, str, float], None]) -> None: ...
 
 
 class _QueueLike(Protocol):
@@ -83,6 +85,10 @@ class EventBus:
         # are created once and captured by identity in forwarders, so
         # subscribing after a component is bound still takes effect.
         self._subs: Dict[Tuple[str, Optional[int]], List[Subscriber]] = {}
+        # Senders bound via bind_sender, with their installed forwarder.
+        # Needed so a cwnd subscription arriving *after* the bind can
+        # upgrade the forwarder to per-ACK delivery (see bind_sender).
+        self._bound_senders: List[Tuple[_SenderLike, Callable[[float, str, float], None]]] = []
 
     # ------------------------------------------------------------------
     # Subscription management
@@ -104,6 +110,16 @@ class EventBus:
         ``fn`` so the handle can be kept for :meth:`unsubscribe`.
         """
         self._list(topic, flow).append(fn)
+        if topic == "cwnd":
+            # Senders bound before any cwnd subscriber existed were
+            # installed without per-ACK delivery; upgrade them now so
+            # the late-subscription contract still holds.
+            for sender, forward in self._bound_senders:
+                if flow is None or sender.flow_id == flow:
+                    try:
+                        sender.enable_ack_events(forward)
+                    except ValueError:
+                        continue  # forwarder was detached from this sender
         return fn
 
     def unsubscribe(
@@ -146,6 +162,15 @@ class EventBus:
         Installs a single chained listener on the sender (coexisting
         with any directly attached listeners) and returns it so callers
         can later ``sender.remove_cwnd_listener`` it.
+
+        The forwarder is installed with per-ACK delivery only when a
+        ``cwnd`` subscription (wildcard or for this flow) already
+        exists; otherwise the sender's zero-listener fast path skips
+        the bus entirely on the per-ACK hot path, and only the rare
+        kinds (``loss_event``/``rto``/``recovery_exit``) flow through.
+        A ``cwnd`` subscription arriving later upgrades the forwarder
+        (see :meth:`subscribe`), preserving the late-subscription
+        contract.
         """
         fid = sender.flow_id
         cwnd_all = self._list("cwnd")
@@ -171,7 +196,10 @@ class EventBus:
                 for fn in rto_one:
                     fn(now, fid, cwnd)
 
-        return sender.add_cwnd_listener(forward)
+        wants_acks = bool(cwnd_all or cwnd_one)
+        sender.add_cwnd_listener(forward, ack_events=wants_acks)
+        self._bound_senders.append((sender, forward))
+        return forward
 
     def bind_queue(
         self, queue: _QueueLike

@@ -15,6 +15,19 @@ Design notes
 - Cancellation is lazy: :meth:`Simulator.cancel` nulls the callback and
   the main loop skips the entry when popped. ``cancel`` is O(1), which
   matters because TCP retransmission timers are re-armed constantly.
+- Dead entries do not pile up unboundedly: once cancelled entries
+  outnumber live ones (past a small floor), ``cancel`` compacts the heap
+  in place — filter out the dead, re-heapify. Live events keep their
+  ``(time, seq)`` keys, so the sequence of *executed* events is
+  identical with or without compaction; only the heap's internal size
+  (and thus per-operation cost) changes. The rebuild reuses the same
+  list object, so a ``run()`` loop holding a local reference stays
+  valid even when a handler's ``cancel`` triggers compaction mid-run.
+- ``run`` keeps two copies of the dispatch loop: the instrumented one
+  (sanitizer and/or profiler brackets around every handler) and a bare
+  one with no per-event instrumentation checks. They execute events
+  identically — the split exists purely so the common case pays zero
+  per-event cost for observation hooks it is not using.
 """
 
 from __future__ import annotations
@@ -33,6 +46,15 @@ _TIME = 0
 _SEQ = 1
 _FN = 2
 _ARGS = 3
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+_heapify = heapq.heapify
+_INF = float("inf")
+
+#: Compaction floor: below this many dead entries the heap is left
+#: alone, so small simulations never pay the rebuild.
+_COMPACT_MIN = 256
 
 
 def event_time(event: Event) -> float:
@@ -71,10 +93,25 @@ class Simulator:
         ``REPRO_SANITIZE`` environment variable.
     """
 
+    __slots__ = (
+        "now",
+        "_heap",
+        "_seq",
+        "_cancelled",
+        "_running",
+        "_stop_requested",
+        "_events_processed",
+        "_seed_seq",
+        "sanitizer",
+        "profiler",
+    )
+
     def __init__(self, sanitize: Optional[bool] = None) -> None:
         self.now: float = 0.0
         self._heap: List[Event] = []
         self._seq = 0
+        #: Cancelled-but-not-yet-popped entries still in the heap.
+        self._cancelled = 0
         self._running = False
         self._stop_requested = False
         self._events_processed = 0
@@ -96,18 +133,19 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued, including lazily cancelled ones."""
+        """Number of events still queued, including lazily cancelled
+        entries that have not been compacted away yet."""
         return len(self._heap)
 
     def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        self._seq += 1
-        event: Event = [self.now + delay, self._seq, fn, args]
+        self._seq = seq = self._seq + 1
+        event: Event = [self.now + delay, seq, fn, args]
         if self.sanitizer is not None:
             self.sanitizer.on_schedule(event[_TIME])
-        heapq.heappush(self._heap, event)
+        _heappush(self._heap, event)
         return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
@@ -116,17 +154,29 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule into the past (time={time}, now={self.now})"
             )
-        self._seq += 1
-        event: Event = [time, self._seq, fn, args]
+        self._seq = seq = self._seq + 1
+        event: Event = [time, seq, fn, args]
         if self.sanitizer is not None:
             self.sanitizer.on_schedule(time)
-        heapq.heappush(self._heap, event)
+        _heappush(self._heap, event)
         return event
 
     def cancel(self, event: Event) -> None:
         """Cancel a pending event. Cancelling twice is a harmless no-op."""
+        if event[_FN] is None:
+            return
         event[_FN] = None
         event[_ARGS] = ()
+        cancelled = self._cancelled + 1
+        heap = self._heap
+        if cancelled >= _COMPACT_MIN and cancelled * 2 > len(heap):
+            # In-place rebuild (slice assignment keeps the list identity
+            # for any run() loop holding a reference to it).
+            heap[:] = [e for e in heap if e[_FN] is not None]
+            _heapify(heap)
+            self._cancelled = 0
+        else:
+            self._cancelled = cancelled
 
     def next_seed(self, salt: int = 0) -> int:
         """Deterministic per-simulator seed stream for component RNGs.
@@ -150,6 +200,22 @@ class Simulator:
         """
         self._stop_requested = True
 
+    def _next_pending_time(self) -> Optional[float]:
+        """Firing time of the earliest live event, or ``None`` if drained.
+
+        Pops dead (cancelled) entries off the top as a side effect —
+        harmless, they would be skipped anyway.
+        """
+        heap = self._heap
+        while heap:
+            event = heap[0]
+            if event[_FN] is None:
+                _heappop(heap)
+                self._cancelled -= 1
+                continue
+            return event[_TIME]  # type: ignore[no-any-return]
+        return None
+
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run the event loop.
 
@@ -157,57 +223,87 @@ class Simulator:
         ----------
         until:
             Stop once the clock would pass this time. Events scheduled at
-            exactly ``until`` still fire, and the clock is advanced to
-            ``until`` when the loop exhausts earlier events.
+            exactly ``until`` still fire. The clock is advanced to
+            ``until`` exactly when the run *completes*: every event due at
+            or before ``until`` has executed. A run truncated early — by
+            :meth:`stop` or by exhausting ``max_events`` with due events
+            still pending — leaves the clock at the last executed event,
+            so callers can detect the truncation. (A budget that runs out
+            precisely as the last due event executes is a completed run,
+            not a truncated one.)
         max_events:
-            Safety valve: stop after executing this many events.
+            Safety valve: stop once ``events_processed`` reaches this
+            total. The budget counts lifetime executed events, so a call
+            with ``max_events <= events_processed`` executes nothing.
         """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         self._stop_requested = False
         heap = self._heap
-        pop = heapq.heappop
         processed = self._events_processed
-        budget = None if max_events is None else max_events - processed
+        budget = _INF if max_events is None else max_events - processed
+        limit = _INF if until is None else until
         sanitizer = self.sanitizer
         profiler = self.profiler
         try:
-            while heap:
-                event = heap[0]
-                fn = event[_FN]
-                if fn is None:
-                    pop(heap)
-                    continue
-                time = event[_TIME]
-                if until is not None and time > until:
-                    break
-                pop(heap)
-                if sanitizer is not None:
-                    sanitizer.on_execute(time)
-                self.now = time
-                args = event[_ARGS]
-                event[_FN] = None
-                event[_ARGS] = ()
-                if profiler is not None:
-                    start = profiler.clock()
-                    fn(*args)
-                    profiler.record(fn, profiler.clock() - start)
-                else:
-                    fn(*args)
-                processed += 1
-                if self._stop_requested:
-                    break
-                if budget is not None:
+            if sanitizer is None and profiler is None:
+                # Bare loop: no per-event instrumentation checks.
+                while heap:
+                    event = heap[0]
+                    fn = event[_FN]
+                    if fn is None:
+                        _heappop(heap)
+                        self._cancelled -= 1
+                        continue
+                    time = event[_TIME]
+                    if time > limit or budget <= 0:
+                        break
                     budget -= 1
-                    if budget <= 0:
+                    _heappop(heap)
+                    self.now = time
+                    args = event[_ARGS]
+                    event[_FN] = None
+                    event[_ARGS] = ()
+                    fn(*args)
+                    processed += 1
+                    if self._stop_requested:
+                        break
+            else:
+                while heap:
+                    event = heap[0]
+                    fn = event[_FN]
+                    if fn is None:
+                        _heappop(heap)
+                        self._cancelled -= 1
+                        continue
+                    time = event[_TIME]
+                    if time > limit or budget <= 0:
+                        break
+                    budget -= 1
+                    _heappop(heap)
+                    if sanitizer is not None:
+                        sanitizer.on_execute(time)
+                    self.now = time
+                    args = event[_ARGS]
+                    event[_FN] = None
+                    event[_ARGS] = ()
+                    if profiler is not None:
+                        start = profiler.clock()
+                        fn(*args)
+                        profiler.record(fn, profiler.clock() - start)
+                    else:
+                        fn(*args)
+                    processed += 1
+                    if self._stop_requested:
                         break
         finally:
             self._events_processed = processed
             self._running = False
-        stopped_early = self._stop_requested or (budget is not None and budget <= 0)
-        if until is not None and self.now < until and not stopped_early:
-            self.now = until
+        if until is not None and self.now < until and not self._stop_requested:
+            next_due = self._next_pending_time()
+            if next_due is None or next_due > until:
+                self.now = until
 
     def step(self) -> bool:
         """Execute the single next pending event.
@@ -215,10 +311,12 @@ class Simulator:
         Returns ``True`` if an event was executed, ``False`` if the queue
         was empty (cancelled events are skipped silently).
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            event = _heappop(heap)
             fn = event[_FN]
             if fn is None:
+                self._cancelled -= 1
                 continue
             if self.sanitizer is not None:
                 self.sanitizer.on_execute(event[_TIME])

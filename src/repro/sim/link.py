@@ -47,6 +47,8 @@ class DelayLink:
     useful to splice monitors into a path for free.
     """
 
+    __slots__ = ("sim", "delay", "sink", "forwarded_packets", "_schedule")
+
     def __init__(self, sim: Simulator, delay: float, sink: Optional[Sink] = None) -> None:
         if delay < 0:
             raise ValueError("delay must be non-negative")
@@ -54,6 +56,9 @@ class DelayLink:
         self.delay = delay
         self.sink = sink
         self.forwarded_packets = 0
+        # Bound-method fast path: one per-packet attribute hop instead
+        # of two (the simulator is fixed for the element's lifetime).
+        self._schedule = sim.schedule
 
     def send(self, packet: Packet) -> None:
         if self.sink is None:
@@ -64,7 +69,7 @@ class DelayLink:
         if self.delay <= 0.0:
             self.sink.send(packet)
         else:
-            self.sim.schedule(self.delay, self.sink.send, packet)
+            self._schedule(self.delay, self.sink.send, packet)
 
 
 class Link:
@@ -89,6 +94,23 @@ class Link:
       every arrival *before* the queue, so channel losses are accounted
       separately (``impaired_drops``) from congestion drops.
     """
+
+    __slots__ = (
+        "sim",
+        "rate_bps",
+        "delay",
+        "queue",
+        "sink",
+        "busy",
+        "up",
+        "transmitted_packets",
+        "transmitted_bytes",
+        "impaired_drops",
+        "loss_model",
+        "_tx_times",
+        "_sanitizer",
+        "_schedule",
+    )
 
     def __init__(
         self,
@@ -115,6 +137,16 @@ class Link:
         #: Packets dropped by the channel-loss model (not queue drops).
         self.impaired_drops = 0
         self.loss_model: Optional[LossModel] = None
+        # Serialisation-time memo, keyed by packet size. The cached value
+        # is the result of the exact expression ``size * 8.0 / rate_bps``
+        # — never a precomputed reciprocal, which would round differently
+        # — so cached and uncached runs are bit-identical. Invalidated by
+        # :meth:`set_rate`.
+        self._tx_times: dict[int, float] = {}
+        # The sanitizer is fixed at simulator construction; cache the
+        # reference so the per-packet paths skip two attribute hops.
+        self._sanitizer = sim.sanitizer
+        self._schedule = sim.schedule
         if sim.sanitizer is not None:
             sim.sanitizer.watch_queue(self.queue)
 
@@ -144,6 +176,7 @@ class Link:
         if rate_bps <= 0:
             raise ValueError("link rate must be positive")
         self.rate_bps = rate_bps
+        self._tx_times.clear()
 
     def _start_next(self) -> None:
         if not self.up:
@@ -154,21 +187,26 @@ class Link:
             self.busy = False
             return
         self.busy = True
-        tx_time = packet.size * 8.0 / self.rate_bps
-        self.sim.schedule(tx_time, self._finish, packet)
+        size = packet.size
+        tx_time = self._tx_times.get(size)
+        if tx_time is None:
+            tx_time = size * 8.0 / self.rate_bps
+            self._tx_times[size] = tx_time
+        self._schedule(tx_time, self._finish, packet)
 
     def _finish(self, packet: Packet) -> None:
         self.transmitted_packets += 1
         self.transmitted_bytes += packet.size
-        if self.sim.sanitizer is not None:
-            self.sim.sanitizer.on_link_finish(self, packet)
-        if self.sink is None:
+        if self._sanitizer is not None:
+            self._sanitizer.on_link_finish(self, packet)
+        sink = self.sink
+        if sink is None:
             raise RuntimeError("Link has no sink attached")
         # <= rather than ==: see DelayLink.send.
         if self.delay <= 0.0:
-            self.sink.send(packet)
+            sink.send(packet)
         else:
-            self.sim.schedule(self.delay, self.sink.send, packet)
+            self._schedule(self.delay, sink.send, packet)
         self._start_next()
 
     @property

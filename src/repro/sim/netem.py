@@ -41,6 +41,18 @@ class NetemDelay:
         loss/jitter across flows.)
     """
 
+    __slots__ = (
+        "sim",
+        "delay",
+        "jitter",
+        "loss_rate",
+        "sink",
+        "dropped_packets",
+        "loss_model",
+        "_rng",
+        "_schedule",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -66,6 +78,9 @@ class NetemDelay:
         #: consulted before the independent ``loss_rate`` draw.
         self.loss_model: Optional[LossModel] = None
         self._rng = rng or random.Random(sim.next_seed(0x4E45))
+        # Bound-method fast path (see DelayLink): the element schedules
+        # once per forwarded packet.
+        self._schedule = sim.schedule
 
     def set_delay(self, delay: float, jitter: Optional[float] = None) -> None:
         """Change the base delay (fault-injection hook: RTT step/spike).
@@ -98,4 +113,4 @@ class NetemDelay:
         if delay <= 0.0:
             self.sink.send(packet)
         else:
-            self.sim.schedule(delay, self.sink.send, packet)
+            self._schedule(delay, self.sink.send, packet)

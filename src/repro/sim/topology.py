@@ -84,6 +84,8 @@ class Dumbbell:
 class _Demux:
     """Delivers packets to the right per-flow endpoint by flow id."""
 
+    __slots__ = ("_sinks",)
+
     def __init__(self) -> None:
         self._sinks: dict[int, object] = {}
 

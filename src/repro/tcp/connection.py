@@ -183,6 +183,10 @@ class TcpSender:
 
         # Ordered cwnd listeners (multi-subscriber; see add_cwnd_listener).
         self._cwnd_listeners: List[CwndListener] = []
+        # The subset of listeners that also want per-ACK "ack" events —
+        # the other kinds are orders of magnitude rarer, so the hot ACK
+        # path dispatches against this (usually empty) list only.
+        self._ack_cwnd_listeners: List[CwndListener] = []
         self.completion_listener: Optional[Callable[["TcpSender"], None]] = None
         # Runtime sanitizer (None when off): audited after every ACK/RTO.
         self._sanitizer = sim.sanitizer
@@ -249,19 +253,30 @@ class TcpSender:
             return
         now = self.sim.now
         pacing_rate = self.cca.pacing_rate
+        # cwnd and pacing_rate only change inside ACK/loss processing,
+        # never while this send loop runs, so both — and the pipe
+        # estimate, which grows by exactly one per transmission — are
+        # safe to fold into locals for the duration of the loop.
+        cwnd_packets = self.cwnd_packets
+        total_packets = self.total_packets
+        in_flight = (
+            self.snd_nxt - self.snd_una - self.sacked_out - self.lost_out
+            + self.retrans_out
+        )
         while True:
-            if self.in_flight >= self.cwnd_packets:
+            if in_flight >= cwnd_packets:
                 break
             if pacing_rate is not None and now < self._pacing_next:
                 self._arm_send_timer(self._pacing_next)
                 break
-            seq = self._next_retransmit()
+            seq = self._next_retransmit() if self._retx_heap else None
             retransmission = seq is not None
             if seq is None:
-                if not self._has_new_data():
-                    break
                 seq = self.snd_nxt
+                if total_packets is not None and seq >= total_packets:
+                    break
             self._transmit(seq, retransmission)
+            in_flight += 1
             if pacing_rate is not None and pacing_rate > 0:
                 gap = self.mss * 8.0 / pacing_rate
                 self._pacing_next = max(now, self._pacing_next) + gap
@@ -286,10 +301,15 @@ class TcpSender:
             meta = PacketMeta()
             self._meta[seq] = meta
             self.snd_nxt += 1
-        self.rate_estimator.on_packet_sent(meta, now, self.in_flight - 1)
+        # self.in_flight inlined (property chain is hot here).
+        in_flight = (
+            self.snd_nxt - self.snd_una - self.sacked_out - self.lost_out
+            + self.retrans_out
+        )
+        self.rate_estimator.on_packet_sent(meta, now, in_flight - 1)
         meta.sent_time = now
         self.stats.packets_sent += 1
-        packet = Packet.data(self.flow_id, seq, self.mss)
+        packet = Packet(self.flow_id, seq, self.mss)
         packet.sent_time = now
         assert self.path is not None
         self.path.send(packet)
@@ -307,63 +327,94 @@ class TcpSender:
         self._on_ack(packet)
 
     def _on_ack(self, ack: Packet) -> None:
+        # This method runs once per received ACK and dominates the whole
+        # simulation profile, so the property chains (in_flight,
+        # packets_out) and repeated attribute lookups are folded into
+        # locals. Every arithmetic expression is kept identical to the
+        # straightforward form — results must stay byte-for-byte equal.
         now = self.sim.now
         self.stats.acks_received += 1
         prior_una = self.snd_una
-        rs = self.rate_estimator.start_sample(self.in_flight)
+        rate_estimator = self.rate_estimator
+        on_delivered = rate_estimator.on_packet_delivered
+        meta_map = self._meta
+        in_flight = (
+            self.snd_nxt - prior_una - self.sacked_out - self.lost_out
+            + self.retrans_out
+        )
+        rs = rate_estimator.start_sample(in_flight)
         rtt_sample: Optional[float] = None
         newly_acked = 0
 
         # --- cumulative ACK -------------------------------------------
         ack_seq = ack.ack_seq
-        if ack_seq > self.snd_una:
-            for seq in range(self.snd_una, ack_seq):
-                meta = self._meta.pop(seq, None)
+        if ack_seq > prior_una:
+            meta_pop = meta_map.pop
+            sacked_out = self.sacked_out
+            lost_out = self.lost_out
+            retrans_out = self.retrans_out
+            for seq in range(prior_una, ack_seq):
+                meta = meta_pop(seq, None)
                 if meta is None:
                     continue
                 if meta.sacked:
-                    self.sacked_out -= 1
+                    sacked_out -= 1
                 else:
-                    self.rate_estimator.on_packet_delivered(rs, meta, now)
+                    on_delivered(rs, meta, now)
                     newly_acked += 1
                     if not meta.retransmitted:
                         rtt_sample = now - meta.sent_time
                 if meta.lost:
-                    self.lost_out -= 1
+                    lost_out -= 1
                 if meta.in_retrans_out:
-                    self.retrans_out -= 1
+                    retrans_out -= 1
+            self.sacked_out = sacked_out
+            self.lost_out = lost_out
+            self.retrans_out = retrans_out
             self.snd_una = ack_seq
-            self._sacked.remove_below(ack_seq)
-            self._lost.remove_below(ack_seq)
-            self._covered.remove_below(ack_seq)
+            if self._sacked:
+                self._sacked.remove_below(ack_seq)
+            if self._lost:
+                self._lost.remove_below(ack_seq)
+            if self._covered:
+                self._covered.remove_below(ack_seq)
 
         # --- SACK blocks ----------------------------------------------
-        for lo, hi in ack.sack_blocks:
-            lo = max(lo, self.snd_una)
-            hi = min(hi, self.snd_nxt)
-            if lo >= hi:
-                continue
-            for gap_lo, gap_hi in self._sacked.holes_between(lo, hi):
-                for seq in range(gap_lo, gap_hi):
-                    meta = self._meta.get(seq)
-                    if meta is None or meta.sacked:
-                        continue
-                    meta.sacked = True
-                    self.sacked_out += 1
-                    newly_acked += 1
-                    self.rate_estimator.on_packet_delivered(rs, meta, now)
-                    if not meta.retransmitted:
-                        rtt_sample = now - meta.sent_time
-                    if meta.lost:
-                        meta.lost = False
-                        self.lost_out -= 1
-                    if meta.in_retrans_out:
-                        meta.in_retrans_out = False
-                        self.retrans_out -= 1
-            self._sacked.add(lo, hi)
-            self._covered.add(lo, hi)
-            if hi - 1 > self._high_sacked:
-                self._high_sacked = hi - 1
+        sack_blocks = ack.sack_blocks
+        if sack_blocks:
+            meta_get = meta_map.get
+            sacked_set = self._sacked
+            covered = self._covered
+            snd_una = self.snd_una
+            snd_nxt = self.snd_nxt
+            for lo, hi in sack_blocks:
+                if lo < snd_una:
+                    lo = snd_una
+                if hi > snd_nxt:
+                    hi = snd_nxt
+                if lo >= hi:
+                    continue
+                for gap_lo, gap_hi in sacked_set.holes_between(lo, hi):
+                    for seq in range(gap_lo, gap_hi):
+                        meta = meta_get(seq)
+                        if meta is None or meta.sacked:
+                            continue
+                        meta.sacked = True
+                        self.sacked_out += 1
+                        newly_acked += 1
+                        on_delivered(rs, meta, now)
+                        if not meta.retransmitted:
+                            rtt_sample = now - meta.sent_time
+                        if meta.lost:
+                            meta.lost = False
+                            self.lost_out -= 1
+                        if meta.in_retrans_out:
+                            meta.in_retrans_out = False
+                            self.retrans_out -= 1
+                sacked_set.add(lo, hi)
+                covered.add(lo, hi)
+                if hi - 1 > self._high_sacked:
+                    self._high_sacked = hi - 1
 
         # --- loss detection -------------------------------------------
         newly_lost = self._mark_lost_from_sack()
@@ -391,9 +442,13 @@ class TcpSender:
         rs.rtt = rtt_sample
         rs.newly_acked = newly_acked
         rs.newly_lost = newly_lost
-        self.rate_estimator.finish_sample(rs, self.rtt.min_rtt)
+        rate_estimator.finish_sample(rs, self.rtt.min_rtt)
         self.cca.on_ack(rs, self)
-        self._notify_cwnd("ack")
+        listeners = self._ack_cwnd_listeners
+        if listeners:
+            cwnd = self.cca.cwnd
+            for fn in listeners:
+                fn(now, "ack", cwnd)
         if self._sanitizer is not None:
             self._sanitizer.check_sender(self)
 
@@ -405,7 +460,7 @@ class TcpSender:
                 if self.completion_listener is not None:
                     self.completion_listener(self)
             return
-        if self.packets_out > 0:
+        if self.snd_nxt > self.snd_una:
             # RFC 6298 §5.3: restart the timer only when new data is
             # acknowledged — dupACKs must not keep pushing it out, or a
             # lost retransmission would never time out.
@@ -521,19 +576,47 @@ class TcpSender:
     # Observability
     # ------------------------------------------------------------------
 
-    def add_cwnd_listener(self, fn: CwndListener) -> CwndListener:
+    def add_cwnd_listener(
+        self, fn: CwndListener, ack_events: bool = True
+    ) -> CwndListener:
         """Append a cwnd listener; listeners fire in attachment order.
 
         Any number of observers (probe, watchdog, metrics sampler,
         event-bus forwarder) can coexist on one sender. Returns ``fn``
         so the handle can be kept for :meth:`remove_cwnd_listener`.
+
+        ``ack_events=False`` registers a listener for the rare kinds
+        only ("loss_event", "rto", "recovery_exit"): the sender then
+        skips it entirely on the per-ACK fast path. Use
+        :meth:`enable_ack_events` to upgrade later.
         """
         self._cwnd_listeners.append(fn)
+        if ack_events:
+            self._ack_cwnd_listeners.append(fn)
         return fn
+
+    def enable_ack_events(self, fn: CwndListener) -> None:
+        """Start delivering per-ACK "ack" events to an attached listener.
+
+        Upgrades a listener added with ``ack_events=False``; relative
+        delivery order among ack-event listeners always follows overall
+        attachment order. No-op if the listener already receives them.
+        """
+        if fn not in self._cwnd_listeners:
+            raise ValueError("listener is not attached to this sender")
+        if fn in self._ack_cwnd_listeners:
+            return
+        wanted = {id(f) for f in self._ack_cwnd_listeners}
+        wanted.add(id(fn))
+        self._ack_cwnd_listeners[:] = [
+            f for f in self._cwnd_listeners if id(f) in wanted
+        ]
 
     def remove_cwnd_listener(self, fn: CwndListener) -> None:
         """Detach a previously added listener (ValueError if absent)."""
         self._cwnd_listeners.remove(fn)
+        if fn in self._ack_cwnd_listeners:
+            self._ack_cwnd_listeners.remove(fn)
 
     @property
     def cwnd_listener(self) -> Optional[CwndListener]:
@@ -559,6 +642,7 @@ class TcpSender:
         """
         if fn is None:
             self._cwnd_listeners.clear()
+            self._ack_cwnd_listeners.clear()
             return
         if self._cwnd_listeners:
             raise RuntimeError(
@@ -567,8 +651,14 @@ class TcpSender:
                 "through repro.obs.EventBus) to attach additional observers."
             )
         self._cwnd_listeners.append(fn)
+        self._ack_cwnd_listeners.append(fn)
 
     def _notify_cwnd(self, kind: str) -> None:
+        """Dispatch a rare-kind cwnd event to every listener.
+
+        The per-ACK "ack" notification is inlined in :meth:`_on_ack`
+        against ``_ack_cwnd_listeners`` instead of going through here.
+        """
         listeners = self._cwnd_listeners
         if listeners:
             now = self.sim.now
@@ -582,6 +672,22 @@ class TcpReceiver:
 
     #: ACK at least every second full-sized segment (RFC 5681).
     ACK_QUOTA = 2
+
+    __slots__ = (
+        "sim",
+        "flow_id",
+        "reverse_path",
+        "delayed_ack",
+        "delack_timeout",
+        "max_sack_blocks",
+        "rcv_nxt",
+        "received_packets",
+        "duplicate_packets",
+        "acks_sent",
+        "_ooo",
+        "_unacked_segments",
+        "_delack_event",
+    )
 
     def __init__(
         self,
@@ -612,7 +718,25 @@ class TcpReceiver:
             raise ValueError("TcpReceiver received an ACK packet")
         self.received_packets += 1
         seq = packet.seq
-        if seq < self.rcv_nxt or seq in self._ooo:
+        rcv_nxt = self.rcv_nxt
+        if seq == rcv_nxt and not self._ooo:
+            # In-order fast path (the overwhelmingly common case): the
+            # arrival extends the contiguous prefix by exactly one and
+            # there is no reordering state to reconcile, so the RangeSet
+            # round-trip below (add_point / contiguous_end_from /
+            # remove_below) collapses to a single increment. Behaviour
+            # is identical to the general path for this case.
+            self.rcv_nxt = rcv_nxt + 1
+            if not self.delayed_ack:
+                self._send_ack(triggering_seq=seq)
+                return
+            self._unacked_segments += 1
+            if self._unacked_segments >= self.ACK_QUOTA:
+                self._send_ack(triggering_seq=seq)
+            else:
+                self._arm_delack()
+            return
+        if seq < rcv_nxt or seq in self._ooo:
             self.duplicate_packets += 1
             self._send_ack(triggering_seq=seq)
             return
@@ -670,11 +794,12 @@ class TcpReceiver:
         if self._delack_event is not None and event_pending(self._delack_event):
             self.sim.cancel(self._delack_event)
             self._delack_event = None
-        ack = Packet.ack(
+        ack = Packet(
             self.flow_id,
-            self.rcv_nxt,
-            sack_blocks=self._sack_blocks(triggering_seq),
             size=ACK_PACKET_BYTES,
+            is_ack=True,
+            ack_seq=self.rcv_nxt,
+            sack_blocks=self._sack_blocks(triggering_seq) if self._ooo else (),
         )
         self.acks_sent += 1
         self.reverse_path.send(ack)

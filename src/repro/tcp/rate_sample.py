@@ -54,6 +54,8 @@ class DeliveryRateEstimator:
     the :class:`RateSample`.
     """
 
+    __slots__ = ("delivered", "delivered_time", "first_sent_time", "app_limited_until")
+
     def __init__(self) -> None:
         self.delivered = 0
         self.delivered_time = 0.0

@@ -19,6 +19,19 @@ class RttEstimator:
     BETA = 0.25
     K = 4.0
 
+    __slots__ = (
+        "initial_rto",
+        "min_rto",
+        "max_rto",
+        "granularity",
+        "srtt",
+        "rttvar",
+        "latest_rtt",
+        "min_rtt",
+        "_rto",
+        "_backoff",
+    )
+
     def __init__(
         self,
         initial_rto: float = 1.0,

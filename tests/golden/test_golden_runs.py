@@ -1,0 +1,78 @@
+"""Golden-run regression suite.
+
+Re-runs the six canonical scenarios and asserts their results are
+byte-identical to the committed corpus (``hashes.json``, regenerated
+only deliberately via ``tools/regen_golden.py``). This is the gate that
+makes hot-path optimization safe: any change to event structure, float
+arithmetic order, RNG draw order or measurement accounting flips a
+digest here.
+
+On mismatch the failure message distinguishes *drift* (an intentional
+physics change — regenerate the corpus) from *breakage* (a refactor
+that silently changed behaviour).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+
+import pytest
+
+from repro.core.goldens import (
+    GOLDEN_FORMAT,
+    TRACED_SCENARIOS,
+    drift_report,
+    golden_scenarios,
+    run_golden,
+    trace_digest,
+)
+
+GOLDEN_DIR = os.path.dirname(os.path.abspath(__file__))
+HASHES_PATH = os.path.join(GOLDEN_DIR, "hashes.json")
+TRACES_DIR = os.path.join(GOLDEN_DIR, "traces")
+
+with open(HASHES_PATH, encoding="utf-8") as _fh:
+    CORPUS = json.load(_fh)
+
+SCENARIOS = golden_scenarios()
+
+
+def test_corpus_format_and_coverage():
+    """The committed corpus matches the in-code scenario set exactly."""
+    assert CORPUS["format"] == GOLDEN_FORMAT
+    assert set(CORPUS["scenarios"]) == set(SCENARIOS), (
+        "golden corpus out of sync with goldens.golden_scenarios(); "
+        "run tools/regen_golden.py"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_golden_run(name):
+    expected = CORPUS["scenarios"][name]
+    traced = name in TRACED_SCENARIOS
+    result, digest, text = run_golden(SCENARIOS[name], with_trace=traced)
+
+    assert digest == expected["result_sha256"], (
+        f"{name}: {drift_report(expected, result)}"
+    )
+
+    if traced:
+        assert text is not None
+        assert trace_digest(text) == expected["trace_sha256"], (
+            f"{name}: result digest matches but the event *trace* diverged — "
+            "per-event timing/ordering changed in a way the aggregate result "
+            "does not expose. For a performance refactor this is breakage; "
+            "for an intentional behaviour change, regenerate with "
+            "tools/regen_golden.py."
+        )
+        # The committed compressed artifact decompresses to exactly the
+        # trace this run produced (guards artifact/hash desync).
+        path = os.path.join(TRACES_DIR, f"{name}.jsonl.gz")
+        with gzip.open(path, "rt", encoding="utf-8") as fh:
+            committed = fh.read()
+        assert committed == text, (
+            f"{name}: committed trace artifact does not match hashes.json; "
+            "rerun tools/regen_golden.py so both regenerate together"
+        )

@@ -71,9 +71,33 @@ def crash_once(scenario, **kwargs):
     return {"name": scenario.name, "recovered": True}
 
 
+#: Environment variable naming the run-store root for crash_for_s1.
+STORE_DIR_ENV = "REPRO_TEST_STORE_DIR"
+
+
 def crash_for_s1(scenario, **kwargs):
-    """SIGKILL the worker on every attempt of scenario ``s1``; else succeed."""
+    """SIGKILL the worker on every attempt of scenario ``s1``; else succeed.
+
+    When ``$REPRO_TEST_STORE_DIR`` is set, ``s1`` defers its crash until
+    another job's result object has landed in the store. A dying worker
+    breaks the whole pool, and the scheduler (by design) charges every
+    in-flight job one attempt for the breakage — so without this
+    synchronisation an innocent concurrent job can repeatedly lose the
+    race, burn its retry budget as collateral damage, and flake any test
+    asserting that only ``s1`` fails.
+    """
     if scenario.name == "s1":
+        store_root = os.environ.get(STORE_DIR_ENV)
+        if store_root:
+            objects = os.path.join(store_root, "objects")
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                try:
+                    if any(n.endswith(".pkl") for n in os.listdir(objects)):
+                        break
+                except OSError:
+                    pass
+                time.sleep(0.01)
         os.kill(os.getpid(), signal.SIGKILL)
     return {"name": scenario.name}
 

@@ -105,8 +105,13 @@ def test_worker_crash_is_retried(tmp_path, monkeypatch):
     assert store.get(job_key(scenario(0)))["recovered"] is True
 
 
-def test_crash_beyond_retry_budget_fails_but_keeps_other_results(tmp_path):
+def test_crash_beyond_retry_budget_fails_but_keeps_other_results(tmp_path, monkeypatch):
     store = _store(tmp_path)
+    # s1 crashes on every attempt, but only after s0's result is in the
+    # store (see fakes.crash_for_s1): a pool breakage voids every
+    # in-flight future and charges each such job an attempt, so an
+    # unsynchronised crash could burn s0's retry budget too.
+    monkeypatch.setenv(fakes.STORE_DIR_ENV, store.root)
     jobs = [Job(scenario(0)), Job(scenario(1))]  # s1 always crashes
     with pytest.raises(SweepError) as excinfo:
         run_jobs(

@@ -221,3 +221,99 @@ def test_next_seed_stream_is_distinct_and_reproducible():
     assert seeds_a == seeds_b  # pure function of construction order
     assert len(set(seeds_a)) == 32  # no two components share a seed
     assert sim_a.next_seed(0) != sim_a.next_seed(0)
+
+
+# ----------------------------------------------------------------------
+# Budget/stop boundary semantics (the latent interaction fixed alongside
+# the hot-path work): a budget that runs out exactly as the last due
+# event executes is a *completed* run, and stop() must never let the
+# clock jump to the horizon.
+# ----------------------------------------------------------------------
+
+
+def test_budget_exhausted_exactly_at_drain_is_natural_completion():
+    sim = Simulator()
+    fired = []
+    for i in range(3):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(until=10.0, max_events=3)
+    assert fired == [0, 1, 2]
+    # Every due event executed; the budget just happened to hit zero at
+    # the same moment. That is completion, so the clock advances to the
+    # horizon exactly as it would without a budget.
+    assert sim.now == 10.0
+
+
+def test_budget_exhausted_with_due_events_pending_is_truncation():
+    sim = Simulator()
+    fired = []
+    for i in range(4):
+        sim.schedule(float(i + 1), fired.append, i)
+    sim.run(until=10.0, max_events=3)
+    assert fired == [0, 1, 2]
+    assert sim.now == 3.0  # left at the last executed event
+    sim.run(until=10.0)  # the leftover event is still runnable
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 10.0
+
+
+def test_budget_exhausted_with_only_beyond_horizon_events_completes():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 0)
+    sim.schedule(50.0, fired.append, 99)
+    sim.run(until=10.0, max_events=1)
+    assert fired == [0]
+    # The only pending event is beyond the horizon, so the run is
+    # complete for until=10.0 regardless of the exhausted budget.
+    assert sim.now == 10.0
+
+
+def test_max_events_at_or_below_processed_executes_nothing():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, fired.append, 2)
+    sim.run(max_events=2)
+    assert sim.events_processed == 2
+    sim.schedule(1.0, fired.append, 3)
+    before = sim.now
+    sim.run(max_events=2)  # budget already consumed: a no-op
+    assert fired == [1, 2]
+    assert sim.now == before
+    sim.run(max_events=1)  # below processed: also a no-op
+    assert fired == [1, 2]
+
+
+def test_stop_from_final_handler_does_not_advance_to_until():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, lambda: (fired.append(2), sim.stop()))
+    sim.run(until=10.0)
+    assert fired == [1, 2]
+    # The heap is drained, but the stop means the caller asked to halt
+    # *here*; jumping the clock to the horizon would hide the abort.
+    assert sim.now == 2.0
+
+
+def test_stop_combined_with_exhausted_budget_stays_truncated():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+    sim.run(until=10.0, max_events=1)
+    assert fired == [1]
+    assert sim.now == 1.0
+
+
+def test_budget_boundary_after_cancellations():
+    sim = Simulator()
+    fired = []
+    keep = [sim.schedule(float(i + 1), fired.append, i) for i in range(6)]
+    for event in keep[3:]:
+        sim.cancel(event)
+    # Three live events, budget of exactly three: natural completion
+    # even though cancelled entries still sit in the heap.
+    sim.run(until=10.0, max_events=3)
+    assert fired == [0, 1, 2]
+    assert sim.now == 10.0
